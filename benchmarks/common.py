@@ -1,0 +1,138 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Scope control
+-------------
+The full paper grid (6 datasets x 7 ratios x 7 systems, long windows)
+takes hours in pure Python.  ``REPRO_BENCH_SCOPE`` selects:
+
+* ``quick`` (default) — representative subset: fewer datasets/ratios
+  and shorter windows.  Preserves every qualitative conclusion.
+* ``full``  — the paper's complete grid.
+
+Every bench accepts the same seeded workloads for all compared systems
+(paired comparison), mirroring the paper's methodology of replaying
+identical request sequences.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.calibration import calibrated_cost_model
+from repro.core.quota import QuotaController
+from repro.core.system import QuotaSystem
+from repro.evaluation.datasets import DatasetSpec, get_dataset
+from repro.evaluation.runner import build_algorithm
+from repro.graph.digraph import DynamicGraph
+from repro.queueing.simulator import SimulationResult
+from repro.queueing.workload import Workload, generate_workload
+
+#: the paper's lambda_u / lambda_q sweep (Figure 3)
+FULL_RATIOS = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+QUICK_RATIOS = (0.125, 1.0, 8.0)
+
+RATIO_LABELS = {
+    0.125: "1/8", 0.25: "1/4", 0.5: "1/2",
+    1.0: "1", 2.0: "2", 4.0: "4", 8.0: "8",
+}
+
+
+def bench_scope() -> str:
+    scope = os.environ.get("REPRO_BENCH_SCOPE", "quick").lower()
+    if scope not in ("quick", "full"):
+        raise ValueError(f"REPRO_BENCH_SCOPE must be quick|full, got {scope}")
+    return scope
+
+
+def scoped(quick_value, full_value):
+    """Pick per scope."""
+    return full_value if bench_scope() == "full" else quick_value
+
+
+def ratio_sweep() -> tuple[float, ...]:
+    return scoped(QUICK_RATIOS, FULL_RATIOS)
+
+
+def dataset_names() -> tuple[str, ...]:
+    return scoped(
+        ("webs", "dblp"),
+        ("webs", "dblp", "pokec", "lj", "orkut", "twitter"),
+    )
+
+
+def window_for(spec: DatasetSpec) -> float:
+    return scoped(min(spec.window, 4.0), spec.window)
+
+
+@dataclass(slots=True)
+class SystemSpec:
+    """One line/series in a figure: base algorithm + Quota/Seed flags."""
+
+    label: str
+    algorithm: str
+    use_quota: bool = False
+    without_constants: bool = False
+    epsilon_r: float = 0.0
+
+
+#: the Figure 3 competitor set
+FIG3_SYSTEMS = (
+    SystemSpec("Quota", "Agenda", use_quota=True),
+    SystemSpec("Quota*", "Agenda", use_quota=True, epsilon_r=0.5),
+    SystemSpec("Agenda", "Agenda"),
+    SystemSpec("FORA", "FORA"),
+    SystemSpec("FORA+", "FORA+"),
+    SystemSpec("FORA*", "FORA+", epsilon_r=0.5),
+    SystemSpec("ResAcc", "ResAcc"),
+)
+
+
+def run_system(
+    system: SystemSpec,
+    spec: DatasetSpec,
+    graph: DynamicGraph,
+    workload: Workload,
+    lambda_q: float,
+    lambda_u: float,
+    seed: int = 0,
+    reoptimize_every: float | None = None,
+) -> SimulationResult:
+    """Replay one workload through one configured system."""
+    algorithm = build_algorithm(
+        system.algorithm, graph.copy(), spec.walk_cap, seed=seed
+    )
+    controller = None
+    if system.use_quota:
+        model = calibrated_cost_model(algorithm, num_queries=4, rng=seed + 1)
+        if system.without_constants:
+            model = model.without_constants()
+        controller = QuotaController(
+            model, extra_starts=[algorithm.get_hyperparameters()]
+        )
+    runner = QuotaSystem(
+        algorithm,
+        controller,
+        epsilon_r=system.epsilon_r,
+        reoptimize_every=reoptimize_every,
+    )
+    if controller is not None and reoptimize_every is None:
+        runner.configure_static(lambda_q, lambda_u)
+    return runner.process(workload)
+
+
+def dataset_workload(
+    name: str,
+    ratio: float,
+    seed: int = 0,
+    lambda_q: float | None = None,
+    window: float | None = None,
+) -> tuple[DatasetSpec, DynamicGraph, Workload, float, float]:
+    """Materialize (spec, graph, workload, lambda_q, lambda_u) for a cell."""
+    spec = get_dataset(name)
+    graph = spec.build(seed=seed)
+    lq = lambda_q if lambda_q is not None else spec.lambda_q
+    lu = lq * ratio
+    t = window if window is not None else window_for(spec)
+    workload = generate_workload(graph, lq, lu, t, rng=seed + 7)
+    return spec, graph, workload, lq, lu

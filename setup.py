@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` on modern pip requires bdist_wheel; this offline
+environment lacks the wheel module, so the shim lets
+`python setup.py develop` (and legacy editable installs) work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,279 @@
+"""Command-line interface: run experiments without writing code.
+
+Subcommands
+-----------
+``datasets``
+    List the registered benchmark datasets and their defaults.
+``calibrate``
+    Measure and print the tau constants of an algorithm on a dataset.
+``configure``
+    Run the Quota controller for given arrival rates and print the
+    chosen hyperparameters, regime, and predicted response time.
+``run``
+    Replay a workload (generated or loaded from a CSV trace) through a
+    system and print the response-time summary; optionally compare the
+    Quota configuration against the algorithm default.
+
+Examples
+--------
+::
+
+    python -m repro.cli datasets
+    python -m repro.cli calibrate --dataset dblp --algorithm Agenda
+    python -m repro.cli configure --dataset dblp --algorithm FORA+ \\
+        --lambda-q 20 --lambda-u 40
+    python -m repro.cli run --dataset webs --algorithm Agenda --quota \\
+        --lambda-q 40 --lambda-u 80 --window 5 --epsilon-r 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.calibration import calibrated_cost_model
+from repro.core.quota import QuotaController
+from repro.core.system import QuotaSystem
+from repro.evaluation.datasets import DATASETS, get_dataset
+from repro.evaluation.metrics import ResponseTimeSummary, improvement_percent
+from repro.evaluation.report import format_table
+from repro.evaluation.runner import build_algorithm
+from repro.ppr import ALGORITHMS
+from repro.queueing.trace_io import load_workload_trace, save_workload_trace
+from repro.queueing.workload import QUERY, UPDATE, generate_workload
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quota: QoS-aware PPR over dynamic graphs (ICDE 2024 "
+        "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered benchmark datasets")
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--dataset", default="dblp", help="dataset name (see `datasets`)"
+    )
+    common.add_argument(
+        "--algorithm",
+        default="Agenda",
+        choices=sorted(ALGORITHMS),
+        help="base PPR algorithm",
+    )
+    common.add_argument("--seed", type=int, default=0, help="random seed")
+
+    cal = sub.add_parser(
+        "calibrate", parents=[common],
+        help="measure the tau constants of an algorithm",
+    )
+    cal.add_argument(
+        "--queries", type=int, default=5, help="probe queries per point"
+    )
+
+    conf = sub.add_parser(
+        "configure", parents=[common],
+        help="compute the Quota-optimal hyperparameters for given rates",
+    )
+    conf.add_argument("--lambda-q", type=float, required=True)
+    conf.add_argument("--lambda-u", type=float, required=True)
+    conf.add_argument(
+        "--response-model", default="pk",
+        choices=QuotaController.RESPONSE_MODELS,
+    )
+
+    run = sub.add_parser(
+        "run", parents=[common],
+        help="replay a workload and report response times",
+    )
+    run.add_argument("--lambda-q", type=float, default=None)
+    run.add_argument("--lambda-u", type=float, default=None)
+    run.add_argument("--window", type=float, default=None)
+    run.add_argument(
+        "--quota", action="store_true",
+        help="also run the Quota-configured system and compare",
+    )
+    run.add_argument(
+        "--epsilon-r", type=float, default=0.0,
+        help="Seed reorder threshold (0 = strict FCFS)",
+    )
+    run.add_argument(
+        "--reoptimize-every", type=float, default=None,
+        help="online re-optimization period in virtual seconds",
+    )
+    run.add_argument(
+        "--trace", default=None,
+        help="CSV workload trace to replay instead of generating",
+    )
+    run.add_argument(
+        "--save-trace", default=None,
+        help="persist the generated workload to this CSV path",
+    )
+    return parser
+
+
+def cmd_datasets() -> int:
+    rows = [
+        [s.name, s.nodes, s.edges, "directed" if s.directed else "undirected",
+         s.lambda_q, s.window]
+        for s in DATASETS.values()
+    ]
+    print(
+        format_table(
+            ["name", "nodes", "edges", "type", "lambda_q", "window (s)"],
+            rows,
+            title="registered datasets (scaled stand-ins for Table II)",
+            float_format="{:g}",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    graph = spec.build(seed=args.seed)
+    algorithm = build_algorithm(
+        args.algorithm, graph, spec.walk_cap, seed=args.seed
+    )
+    model = calibrated_cost_model(
+        algorithm, num_queries=args.queries, rng=args.seed
+    )
+    rows = [[name, tau] for name, tau in sorted(model.taus.items())]
+    print(
+        format_table(
+            ["sub-process", "tau (s per unit factor)"],
+            rows,
+            title=f"{args.algorithm} on {spec.name} "
+            f"(n={graph.num_nodes}, m={graph.num_edges})",
+            float_format="{:.3e}",
+        )
+    )
+    return 0
+
+
+def cmd_configure(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    graph = spec.build(seed=args.seed)
+    algorithm = build_algorithm(
+        args.algorithm, graph, spec.walk_cap, seed=args.seed
+    )
+    model = calibrated_cost_model(algorithm, rng=args.seed)
+    controller = QuotaController(
+        model,
+        extra_starts=[algorithm.get_hyperparameters()],
+        response_model=args.response_model,
+    )
+    decision = controller.configure(args.lambda_q, args.lambda_u)
+    print(f"regime:    {decision.regime}")
+    print(f"rho:       {decision.traffic_intensity:.4f}")
+    if decision.is_stable:
+        print(
+            f"predicted mean response time: "
+            f"{decision.predicted_response_time * 1e3:.3f} ms"
+        )
+    for name, value in decision.beta.items():
+        print(f"{name:10s} = {value:.6e}")
+    print(f"(solved in {decision.configure_seconds * 1e3:.1f} ms)")
+    return 0
+
+
+def _summarize(label: str, result) -> list[object]:
+    summary = ResponseTimeSummary.from_result(result)
+    return [
+        label,
+        summary.mean * 1e3,
+        summary.p50 * 1e3,
+        summary.p95 * 1e3,
+        result.mean_service_time(QUERY) * 1e3,
+        result.mean_service_time(UPDATE) * 1e3,
+        result.empirical_load(),
+    ]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = get_dataset(args.dataset)
+    graph = spec.build(seed=args.seed)
+    lambda_q = args.lambda_q if args.lambda_q is not None else spec.lambda_q
+    lambda_u = args.lambda_u if args.lambda_u is not None else spec.lambda_q
+    window = args.window if args.window is not None else spec.window
+
+    if args.trace:
+        workload = load_workload_trace(args.trace)
+    else:
+        workload = generate_workload(
+            graph, lambda_q, lambda_u, window, rng=args.seed + 1
+        )
+    if args.save_trace:
+        save_workload_trace(workload, args.save_trace)
+        print(f"workload trace written to {args.save_trace}")
+    print(
+        f"{workload.num_queries} queries + {workload.num_updates} updates "
+        f"over {workload.t_end:g}s on {spec.name} "
+        f"(n={graph.num_nodes}, m={graph.num_edges})"
+    )
+
+    rows = []
+    baseline = build_algorithm(
+        args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed
+    )
+    base_result = QuotaSystem(
+        baseline, epsilon_r=args.epsilon_r
+    ).process(workload)
+    rows.append(_summarize(f"{args.algorithm} (default)", base_result))
+
+    if args.quota:
+        tuned = build_algorithm(
+            args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed
+        )
+        controller = QuotaController(
+            calibrated_cost_model(tuned, rng=args.seed + 2),
+            extra_starts=[tuned.get_hyperparameters()],
+        )
+        system = QuotaSystem(
+            tuned,
+            controller,
+            epsilon_r=args.epsilon_r,
+            reoptimize_every=args.reoptimize_every,
+        )
+        if args.reoptimize_every is None:
+            system.configure_static(lambda_q, lambda_u)
+        quota_result = system.process(workload)
+        rows.append(_summarize(f"Quota-{args.algorithm}", quota_result))
+
+    print(
+        format_table(
+            ["system", "mean R (ms)", "p50 (ms)", "p95 (ms)",
+             "t_q (ms)", "t_u (ms)", "load"],
+            rows,
+        )
+    )
+    if args.quota:
+        print(
+            f"response-time reduction: "
+            f"{improvement_percent(rows[0][1], rows[1][1]):.1f}%"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return cmd_datasets()
+        if args.command == "calibrate":
+            return cmd_calibrate(args)
+        if args.command == "configure":
+            return cmd_configure(args)
+        if args.command == "run":
+            return cmd_run(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

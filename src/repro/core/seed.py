@@ -1,0 +1,175 @@
+"""Seed: FCFS-relaxing queue reordering with a bounded error budget.
+
+Section VI: a query may overtake earlier-arrived, still-pending updates
+as long as the *ordering inaccuracy* this introduces stays below the
+threshold epsilon_r.  The per-update inaccuracy increment (Lemma 2) is
+
+    (e(G, s) - alpha) (1 - alpha (1 - alpha))
+    -----------------------------------------
+            alpha^2  d_out(G', u)
+
+with  e(G, s) = (d - alpha (1 - alpha) (d - 1)) / d,  d = d_out(G, s),
+where s is the query source, u the tail of the pending edge update, and
+G' the graph *after* that update.  Summing the increments over the
+pending queue bounds |pi(G_{i+k}, s, t) - pi(G_i, s, t)| for every t.
+
+:class:`SeedQueue` tracks the pending updates together with each one's
+degree-dependent factor (using a pending-degree overlay so d_out(G', u)
+is the post-update degree even though the graph has not been mutated
+yet), evaluates the Lemma 2 bound per query source, and flushes when
+the budget is exceeded — Algorithm 2's inner loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import DynamicGraph
+from repro.graph.updates import EdgeUpdate
+from repro.ppr.base import DynamicPPRAlgorithm
+
+
+def degree_adjustment_factor(alpha: float, d_out_after: int) -> float:
+    """The source-independent part of the Lemma 2 increment:
+    (1 - alpha(1 - alpha)) / (alpha^2 * d_out(G', u))."""
+    if not 0 < alpha < 1:
+        raise ValueError("alpha must be in (0, 1)")
+    d = max(d_out_after, 1)
+    return (1.0 - alpha * (1.0 - alpha)) / (alpha * alpha * d)
+
+
+def source_excess(alpha: float, d_out_source: int) -> float:
+    """e(G, s) - alpha of Lemma 2 (in [0, 1 - alpha])."""
+    d = max(d_out_source, 1)
+    e = (d - alpha * (1.0 - alpha) * (d - 1)) / d
+    return max(e - alpha, 0.0)
+
+
+@dataclass(frozen=True, slots=True)
+class PendingUpdate:
+    """A deferred update plus its precomputed Lemma 2 factor and arrival.
+
+    ``delta`` records the out-degree change (+1 insert / -1 delete) the
+    update will cause at its tail node — needed to unwind the pending
+    degree overlay when updates are flushed one at a time.
+    """
+
+    update: EdgeUpdate
+    arrival: float
+    factor: float
+    delta: int = 0
+
+
+class SeedQueue:
+    """The pending-update queue U^p of Algorithm 2.
+
+    Parameters
+    ----------
+    graph:
+        The live graph (read-only here; mutations happen on flush via
+        the owning algorithm).
+    alpha:
+        Teleport probability (enters the Lemma 2 bound).
+    epsilon_r:
+        Reorder error threshold.  0 disables reordering entirely:
+        :meth:`should_flush` is then always True, restoring exact FCFS.
+    """
+
+    def __init__(
+        self, graph: DynamicGraph, alpha: float, epsilon_r: float
+    ) -> None:
+        if epsilon_r < 0:
+            raise ValueError("epsilon_r must be non-negative")
+        self.graph = graph
+        self.alpha = alpha
+        self.epsilon_r = epsilon_r
+        self._pending: list[PendingUpdate] = []
+        # net out-degree delta per node from pending (unapplied) updates
+        self._degree_delta: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> list[PendingUpdate]:
+        return list(self._pending)
+
+    def _pending_out_degree(self, node: int) -> int:
+        base = self.graph.out_degree(node) if self.graph.has_node(node) else 0
+        return base + self._degree_delta.get(node, 0)
+
+    def _edge_exists_pending(self, u: int, v: int) -> bool:
+        """Edge existence after the pending queue would be applied."""
+        exists = self.graph.has_edge(u, v)
+        for item in self._pending:
+            if (item.update.u, item.update.v) == (u, v):
+                exists = not exists
+        return exists
+
+    def add(self, update: EdgeUpdate, arrival: float = 0.0) -> PendingUpdate:
+        """Defer an update; precompute its Lemma 2 factor.
+
+        The factor uses d_out(G', u) where G' is the graph state after
+        the pending prefix plus this update — tracked with the degree
+        overlay, never by mutating the live graph.
+        """
+        u, v = update.u, update.v
+        inserting = not self._edge_exists_pending(u, v)
+        delta = 1 if inserting else -1
+        d_after = max(self._pending_out_degree(u) + delta, 0)
+        self._degree_delta[u] = self._degree_delta.get(u, 0) + delta
+        item = PendingUpdate(
+            update,
+            arrival,
+            degree_adjustment_factor(self.alpha, d_after),
+            delta,
+        )
+        self._pending.append(item)
+        return item
+
+    def error_bound(self, source: int) -> float:
+        """e_sum(s): the accumulated ordering-inaccuracy bound (Alg. 2
+        line 10) for a query from ``source`` over the stale graph."""
+        if not self._pending:
+            return 0.0
+        excess = source_excess(self.alpha, self._pending_out_degree(source))
+        return excess * sum(item.factor for item in self._pending)
+
+    def should_flush(self, source: int) -> bool:
+        """True when the query must wait for the pending updates."""
+        if self.epsilon_r == 0.0:
+            return len(self._pending) > 0
+        return self.error_bound(source) > self.epsilon_r
+
+    def flush(
+        self, algorithm: DynamicPPRAlgorithm
+    ) -> list[PendingUpdate]:
+        """Execute every pending update through ``algorithm`` (line 12)."""
+        flushed = self._pending
+        self._pending = []
+        self._degree_delta = {}
+        for item in flushed:
+            algorithm.apply_update(item.update)
+        return flushed
+
+    def flush_one(
+        self, algorithm: DynamicPPRAlgorithm
+    ) -> PendingUpdate | None:
+        """Execute only the oldest pending update (idle-time draining).
+
+        Deferral exists to let queries overtake updates when the server
+        is contended; while the server idles, applying pending updates
+        costs queries nothing and keeps the graph fresh.
+        """
+        if not self._pending:
+            return None
+        item = self._pending.pop(0)
+        node = item.update.u
+        remaining = self._degree_delta.get(node, 0) - item.delta
+        if remaining:
+            self._degree_delta[node] = remaining
+        else:
+            self._degree_delta.pop(node, None)
+        algorithm.apply_update(item.update)
+        return item

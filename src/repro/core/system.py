@@ -1,0 +1,326 @@
+"""QuotaSystem: the end-to-end serving loop (Algorithm 2 + simulator).
+
+Glues everything together: a base PPR algorithm, the Quota controller
+(optional — omit it to replay the algorithm at its default setting, the
+paper's baselines), the Seed reordering queue (epsilon_r > 0), online
+arrival-rate monitoring with periodic re-optimization, and the
+virtual-time FCFS clock.
+
+Timing model (the DESIGN.md substitution): the server's virtual clock
+advances by the *measured wall time* of each executed operation —
+query, update, deferred-update flush, and (optionally) reconfiguration
+work such as index rebuilds triggered by a hyperparameter change.
+Response time of a query = (virtual completion) - (virtual arrival),
+matching the paper's R_q.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.quota import QuotaController, QuotaDecision
+from repro.core.seed import SeedQueue
+from repro.ppr.base import DynamicPPRAlgorithm, PPRVector
+from repro.queueing.simulator import CompletedRequest, SimulationResult
+from repro.queueing.workload import QUERY, UPDATE, Request, Workload
+
+QueryCallback = Callable[[Request, PPRVector, int], None]
+
+
+@dataclass(slots=True)
+class RateEstimator:
+    """Sliding-window arrival-rate monitor (Section VIII-D: "we
+    continuously monitor the rates")."""
+
+    window: float = 10.0
+    _queries: deque = field(default_factory=deque)
+    _updates: deque = field(default_factory=deque)
+
+    def observe(self, kind: str, arrival: float) -> None:
+        store = self._queries if kind == QUERY else self._updates
+        store.append(arrival)
+        self._evict(arrival)
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window
+        for store in (self._queries, self._updates):
+            while store and store[0] < horizon:
+                store.popleft()
+
+    def rates(self, now: float) -> tuple[float, float]:
+        """Estimated (lambda_q, lambda_u) over the trailing window."""
+        self._evict(now)
+        span = min(self.window, max(now, 1e-9))
+        return len(self._queries) / span, len(self._updates) / span
+
+
+class QuotaSystem:
+    """Serves an interleaved query/update workload on a virtual clock.
+
+    Parameters
+    ----------
+    algorithm:
+        The base PPR algorithm instance (owns the graph).
+    controller:
+        Quota controller; None replays the algorithm as-is (baseline).
+    epsilon_r:
+        Seed reorder threshold; 0 keeps strict FCFS (no reordering).
+    reoptimize_every:
+        Re-run the controller every this many virtual seconds using the
+        monitored rates; None configures only when
+        :meth:`configure_static` is called.
+    rate_window:
+        Sliding-window length (virtual seconds) of the rate monitor.
+    charge_solve:
+        Charge the controller's solve time to the virtual server clock.
+        Default False: the search runs out-of-band (a side thread in a
+        real deployment; the paper's Table IV reports it separately
+        from serving).
+    charge_apply:
+        Charge the cost of *applying* a new beta — an index rebuild for
+        index-based algorithms — to the server clock.  Default True:
+        the index is shared state the server must rebuild in-line.
+    """
+
+    def __init__(
+        self,
+        algorithm: DynamicPPRAlgorithm,
+        controller: QuotaController | None = None,
+        epsilon_r: float = 0.0,
+        reoptimize_every: float | None = None,
+        rate_window: float = 10.0,
+        charge_solve: bool = False,
+        charge_apply: bool = True,
+        rate_change_threshold: float = 0.15,
+        beta_change_threshold: float = 0.10,
+    ) -> None:
+        if reoptimize_every is not None and reoptimize_every <= 0:
+            raise ValueError("reoptimize_every must be positive")
+        self.algorithm = algorithm
+        self.controller = controller
+        self.epsilon_r = epsilon_r
+        self.reoptimize_every = reoptimize_every
+        self.rate_estimator = RateEstimator(window=rate_window)
+        self.charge_solve = charge_solve
+        self.charge_apply = charge_apply
+        # hysteresis for the online loop: skip re-solving when the
+        # monitored rates barely moved, and skip re-applying beta (an
+        # index rebuild for index-based algorithms) when the solution
+        # barely moved
+        self.rate_change_threshold = rate_change_threshold
+        self.beta_change_threshold = beta_change_threshold
+        self.decisions: list[QuotaDecision] = []
+        self._last_reoptimize = 0.0
+        self._configured_rates: tuple[float, float] | None = None
+
+    # ------------------------------------------------------------------
+    def configure_static(
+        self, lambda_q: float, lambda_u: float
+    ) -> QuotaDecision | None:
+        """One-shot configuration for known rates (the Figure 3 mode)."""
+        if self.controller is None:
+            return None
+        decision = self.controller.configure(lambda_q, lambda_u)
+        self.algorithm.set_hyperparameters(**decision.beta)
+        self.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    def process(
+        self,
+        workload: Workload,
+        query_callback: QueryCallback | None = None,
+    ) -> SimulationResult:
+        """Replay ``workload`` in arrival order; returns timed results.
+
+        ``query_callback(request, estimate, pending_updates)`` fires
+        after every query with the PPR estimate and the number of
+        not-yet-applied (Seed-deferred) updates — the hook the accuracy
+        experiments use.
+        """
+        seed_queue = SeedQueue(
+            self.algorithm.graph, self.algorithm.params.alpha, self.epsilon_r
+        )
+        completed: list[CompletedRequest] = []
+        server_free = 0.0
+        self._last_reoptimize = 0.0
+
+        for request in workload:
+            self.rate_estimator.observe(request.kind, request.arrival)
+            server_free = self._maybe_reoptimize(request.arrival, server_free)
+            # Opportunistically drain deferred updates while the server
+            # idles before this arrival — deferral should steal time
+            # from queries only under contention (Lemma 3's regime).
+            server_free = self._drain_idle(
+                seed_queue, completed, server_free, request.arrival
+            )
+
+            if request.kind == UPDATE:
+                if self.epsilon_r > 0.0:
+                    # Seed: defer; the cost is paid at flush time.
+                    seed_queue.add(request.update, request.arrival)
+                    continue
+                start = max(request.arrival, server_free)
+                elapsed = self._timed(
+                    lambda: self.algorithm.apply_update(request.update)
+                )[1]
+                finish = start + elapsed
+                completed.append(
+                    CompletedRequest(request, start, finish, elapsed)
+                )
+                server_free = finish
+                continue
+
+            # --- query ---------------------------------------------------
+            start = max(request.arrival, server_free)
+            if len(seed_queue) and seed_queue.should_flush(request.source):
+                # the query must wait for the forced flush: the deferred
+                # updates occupy the server first, then the query runs
+                flushed, flush_elapsed = self._timed(
+                    lambda: seed_queue.flush(self.algorithm)
+                )
+                flush_finish = start + flush_elapsed
+                share = flush_elapsed / max(len(flushed), 1)
+                for item in flushed:
+                    completed.append(
+                        CompletedRequest(
+                            Request(
+                                item.arrival, UPDATE, update=item.update
+                            ),
+                            start,
+                            flush_finish,
+                            share,
+                        )
+                    )
+                start = flush_finish
+            estimate, query_elapsed = self._timed(
+                lambda: self.algorithm.query(request.source)
+            )
+            finish = start + query_elapsed
+            completed.append(
+                CompletedRequest(request, start, finish, query_elapsed)
+            )
+            server_free = finish
+            if query_callback is not None:
+                query_callback(request, estimate, len(seed_queue))
+
+        # Drain any still-pending updates after the window closes.
+        if len(seed_queue):
+            drain_from = max(
+                server_free,
+                max(item.arrival for item in seed_queue.pending),
+            )
+            flushed, elapsed = self._timed(
+                lambda: seed_queue.flush(self.algorithm)
+            )
+            finish = drain_from + elapsed
+            for item in flushed:
+                completed.append(
+                    CompletedRequest(
+                        Request(item.arrival, UPDATE, update=item.update),
+                        drain_from,
+                        finish,
+                        elapsed / max(len(flushed), 1),
+                    )
+                )
+            server_free = finish
+
+        completed.sort(key=lambda c: (c.start, c.arrival))
+        return SimulationResult(completed, workload.t_end)
+
+    # ------------------------------------------------------------------
+    def _drain_idle(
+        self,
+        seed_queue: SeedQueue,
+        completed: list[CompletedRequest],
+        server_free: float,
+        until: float,
+    ) -> float:
+        """Apply pending updates one at a time while the server is idle."""
+        while len(seed_queue) and server_free < until:
+            item, elapsed = self._timed(
+                lambda: seed_queue.flush_one(self.algorithm)
+            )
+            # an update cannot start before it arrived
+            start = max(server_free, item.arrival)
+            finish = start + elapsed
+            completed.append(
+                CompletedRequest(
+                    Request(item.arrival, UPDATE, update=item.update),
+                    start,
+                    finish,
+                    elapsed,
+                )
+            )
+            server_free = finish
+        return server_free
+
+    def _maybe_reoptimize(self, now: float, server_free: float) -> float:
+        """Periodic online reconfiguration from monitored rates."""
+        if self.controller is None or self.reoptimize_every is None:
+            return server_free
+        if now - self._last_reoptimize < self.reoptimize_every:
+            return server_free
+        self._last_reoptimize = now
+        lambda_q, lambda_u = self.rate_estimator.rates(now)
+        if lambda_q <= 0:
+            return server_free
+        if self._configured_rates is not None and not self._rates_moved(
+            lambda_q, lambda_u
+        ):
+            return server_free
+
+        current = self.algorithm.get_hyperparameters()
+        decision = self.controller.configure(
+            lambda_q, lambda_u, warm_start=current, quick=True
+        )
+        self._configured_rates = (lambda_q, lambda_u)
+        self.decisions.append(decision)
+        apply_elapsed = 0.0
+        if self._beta_moved(current, decision.beta):
+            _, apply_elapsed = self._timed(
+                lambda: self.algorithm.set_hyperparameters(**decision.beta)
+            )
+        charged = 0.0
+        if self.charge_solve:
+            charged += decision.configure_seconds
+        if self.charge_apply:
+            charged += apply_elapsed
+        if charged > 0.0:
+            return max(now, server_free) + charged
+        return server_free
+
+    def _rates_moved(self, lambda_q: float, lambda_u: float) -> bool:
+        """True when either monitored rate drifted past the threshold."""
+        last_q, last_u = self._configured_rates
+        threshold = self.rate_change_threshold
+
+        def moved(new: float, old: float) -> bool:
+            if old <= 0:
+                return new > 0
+            return abs(new - old) / old > threshold
+
+        return moved(lambda_q, last_q) or moved(lambda_u, last_u)
+
+    def _beta_moved(
+        self, current: dict[str, float], proposed: dict[str, float]
+    ) -> bool:
+        """True when any hyperparameter changed enough to be worth the
+        re-application cost (index rebuild for index-based methods)."""
+        for name, new in proposed.items():
+            old = current.get(name, 0.0)
+            if old <= 0:
+                return True
+            if abs(new - old) / old > self.beta_change_threshold:
+                return True
+        return False
+
+    @staticmethod
+    def _timed(fn):
+        """(result, elapsed_wall_seconds) of ``fn()``."""
+        started = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - started

@@ -1,0 +1,133 @@
+"""Plain-text table/series rendering for the benchmark reports.
+
+The benchmarks print their reproduction of each paper table/figure as
+monospace text so `pytest benchmarks/ --benchmark-only` output can be
+diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; everything else with
+    ``str``.  Columns are right-aligned except the first.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [c.rjust(w) for c, w in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render figure-style data: one row per x value, one column per
+    line series — the textual equivalent of the paper's plots."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: list[object] = [x]
+        for name in series:
+            row.append(float(series[name][i]))
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def banner(text: str) -> str:
+    """A visually separated section header for bench output."""
+    bar = "#" * max(len(text) + 4, 40)
+    return f"\n{bar}\n# {text}\n{bar}"
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A unicode sparkline of a numeric series (min..max normalized).
+
+    Used by the bench reports to show response-time trajectories inline
+    without a plotting dependency.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[4] * len(values)
+    steps = len(_BLOCKS) - 1
+    return "".join(
+        _BLOCKS[int(round((v - lo) / span * steps))] for v in values
+    )
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 8,
+    width: int = 40,
+    label_format: str = "{:.3g}",
+) -> str:
+    """A horizontal ASCII histogram (one row per bin).
+
+    The textual stand-in for the paper's Figure 9(b) distribution plot.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return "(no data)"
+    if bins < 1 or width < 1:
+        raise ValueError("bins and width must be >= 1")
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return f"{label_format.format(lo)}  | {'#' * width}  ({len(values)})"
+    edges = [lo + (hi - lo) * i / bins for i in range(bins + 1)]
+    counts = [0] * bins
+    for v in values:
+        index = min(int((v - lo) / (hi - lo) * bins), bins - 1)
+        counts[index] += 1
+    peak = max(counts)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(int(round(count / peak * width)), 1 if count else 0)
+        label = (
+            f"[{label_format.format(edges[i])}, "
+            f"{label_format.format(edges[i + 1])})"
+        )
+        lines.append(f"{label:>24s} | {bar:<{width}s} {count}")
+    return "\n".join(lines)

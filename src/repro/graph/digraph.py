@@ -1,0 +1,235 @@
+"""A dynamic directed graph with O(degree) edge inserts and deletes.
+
+The graph is the substrate every PPR algorithm in this repository runs
+on.  It is deliberately simple: integer node ids, adjacency lists in
+both directions, and a set of edges for O(1) membership tests.  This
+mirrors the in-memory representation used by the reference C++
+implementations of FORA / Agenda (compressed adjacency arrays), while
+staying idiomatic Python.
+
+Conventions
+-----------
+* Self loops are allowed; parallel edges are not (the edge-arrival model
+  of the paper toggles an edge's existence, so multiplicity is never
+  needed).
+* A *dangling* node (out-degree zero) is treated as if it had an
+  implicit self loop.  For random walks this means the walk terminates
+  at the node; for forward push the alpha-fraction of the residue is
+  converted to reserve and the rest stays on the node.  All algorithms
+  and the power-iteration ground truth share this convention so their
+  outputs are comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class DynamicGraph:
+    """Directed graph supporting dynamic edge inserts and deletes.
+
+    Parameters
+    ----------
+    num_nodes:
+        If given, pre-creates nodes ``0 .. num_nodes - 1``.  Nodes are
+        also created implicitly by :meth:`add_edge` / :meth:`add_node`.
+
+    Examples
+    --------
+    >>> g = DynamicGraph()
+    >>> g.add_edge(0, 1)
+    True
+    >>> g.add_edge(1, 2)
+    True
+    >>> g.out_degree(1)
+    1
+    >>> sorted(g.out_neighbors(0))
+    [1]
+    """
+
+    __slots__ = ("_out", "_in", "_edges", "_version", "__weakref__")
+
+    def __init__(self, num_nodes: int = 0) -> None:
+        self._out: dict[int, list[int]] = {v: [] for v in range(num_nodes)}
+        self._in: dict[int, list[int]] = {v: [] for v in range(num_nodes)}
+        self._edges: set[tuple[int, int]] = set()
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic structure-change counter.
+
+        Incremented by every mutation; used by cached derived views
+        (e.g. the CSR arrays in :mod:`repro.ppr.csr`) to detect
+        staleness without holding references into the graph.
+        """
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, edges: Iterable[tuple[int, int]], directed: bool = True
+    ) -> "DynamicGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        When ``directed`` is False each pair inserts both directions,
+        matching how the paper's undirected datasets (DBLP, Orkut) are
+        handled by directed PPR algorithms.
+        """
+        graph = cls()
+        for u, v in edges:
+            graph.add_edge(u, v)
+            if not directed:
+                graph.add_edge(v, u)
+        return graph
+
+    def copy(self) -> "DynamicGraph":
+        """Return an independent deep copy of this graph."""
+        clone = DynamicGraph()
+        clone._out = {v: list(nbrs) for v, nbrs in self._out.items()}
+        clone._in = {v: list(nbrs) for v, nbrs in self._in.items()}
+        clone._edges = set(self._edges)
+        clone._version = self._version
+        return clone
+
+    # ------------------------------------------------------------------
+    # Node operations
+    # ------------------------------------------------------------------
+    def add_node(self, v: int) -> bool:
+        """Ensure node ``v`` exists.  Returns True if it was created."""
+        if v in self._out:
+            return False
+        self._out[v] = []
+        self._in[v] = []
+        self._version += 1
+        return True
+
+    def remove_node(self, v: int) -> None:
+        """Remove ``v`` and all its incident edges."""
+        if v not in self._out:
+            raise KeyError(f"node {v} not in graph")
+        for w in list(self._out[v]):
+            self.remove_edge(v, w)
+        for u in list(self._in[v]):
+            self.remove_edge(u, v)
+        del self._out[v]
+        del self._in[v]
+        self._version += 1
+
+    def has_node(self, v: int) -> bool:
+        return v in self._out
+
+    def nodes(self) -> Iterator[int]:
+        """Iterate over node ids (insertion order)."""
+        return iter(self._out)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._out)
+
+    # ------------------------------------------------------------------
+    # Edge operations
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> bool:
+        """Insert edge ``(u, v)``.  Returns False if it already exists.
+
+        Endpoints are created on demand, matching the paper's model
+        where "the insert of a new node u is linked with an update
+        ``(u, v)``".
+        """
+        if (u, v) in self._edges:
+            return False
+        self.add_node(u)
+        self.add_node(v)
+        self._edges.add((u, v))
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._version += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)``.  Raises KeyError if absent."""
+        if (u, v) not in self._edges:
+            raise KeyError(f"edge ({u}, {v}) not in graph")
+        self._edges.remove((u, v))
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._version += 1
+
+    def toggle_edge(self, u: int, v: int) -> bool:
+        """Apply the paper's edge-arrival semantics.
+
+        If ``(u, v)`` exists it is deleted, otherwise inserted
+        (Section II-B).  Returns True if the edge was inserted, False
+        if it was deleted.
+        """
+        if (u, v) in self._edges:
+            self.remove_edge(u, v)
+            return False
+        self.add_edge(u, v)
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u, v) in self._edges
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate over directed edges in arbitrary order."""
+        return iter(self._edges)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Neighborhood queries
+    # ------------------------------------------------------------------
+    def out_neighbors(self, v: int) -> list[int]:
+        """The list of out-neighbors of ``v`` (do not mutate)."""
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> list[int]:
+        """The list of in-neighbors of ``v`` (do not mutate)."""
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        return len(self._in[v])
+
+    def average_degree(self) -> float:
+        """Mean out-degree m/n; the d-bar of the Reverse Push bound."""
+        if not self._out:
+            return 0.0
+        return len(self._edges) / len(self._out)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, tuple) and len(item) == 2:
+            return item in self._edges
+        if isinstance(item, int):
+            return item in self._out
+        return False
+
+    def __len__(self) -> int:
+        return len(self._out)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.num_nodes}, m={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicGraph):
+            return NotImplemented
+        return (
+            self._edges == other._edges
+            and self._out.keys() == other._out.keys()
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash only
+        return id(self)

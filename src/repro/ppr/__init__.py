@@ -1,0 +1,79 @@
+"""PPR algorithms: push primitives, ground truth, and the base methods.
+
+The base algorithms Quota configures (Section V / Table I):
+
+=============  ===========  ======================================
+Algorithm      Index        Tunable hyperparameters
+=============  ===========  ======================================
+FORA           no           r_max
+FORA+          yes          r_max
+SpeedPPR       no           r_max
+SpeedPPR+      yes          r_max
+Agenda         yes (lazy)   r_max, r_max_b
+ResAcc         no           r_max           (baseline only)
+FORA-TopK      no           r_max
+TopPPR         no           r_max, r_max_b
+=============  ===========  ======================================
+"""
+
+from repro.ppr.agenda import Agenda
+from repro.ppr.bippr import PairEstimate, ppr_single_pair
+from repro.ppr.tracking import TrackedPPR, signed_forward_push
+from repro.ppr.base import (
+    DynamicPPRAlgorithm,
+    PPRParams,
+    PPRVector,
+    QueryStats,
+    SubProcessTimers,
+)
+from repro.ppr.csr import CSRView, csr_view
+from repro.ppr.fora import Fora, ForaPlus
+from repro.ppr.forward_push import PushResult, forward_push
+from repro.ppr.power_iteration import ppr_exact, ppr_exact_all_pairs
+from repro.ppr.random_walk import WalkIndex, sample_walk_terminals
+from repro.ppr.resacc import ResAcc
+from repro.ppr.reverse_push import ReversePushResult, reverse_push
+from repro.ppr.speedppr import SpeedPPR, SpeedPPRPlus
+from repro.ppr.topk import ForaTopK, TopPPR
+
+ALGORITHMS = {
+    "FORA": Fora,
+    "FORA+": ForaPlus,
+    "SpeedPPR": SpeedPPR,
+    "SpeedPPR+": SpeedPPRPlus,
+    "Agenda": Agenda,
+    "ResAcc": ResAcc,
+    "FORA-TopK": ForaTopK,
+    "TopPPR": TopPPR,
+}
+
+__all__ = [
+    "ALGORITHMS",
+    "Agenda",
+    "CSRView",
+    "DynamicPPRAlgorithm",
+    "Fora",
+    "ForaPlus",
+    "ForaTopK",
+    "PairEstimate",
+    "PPRParams",
+    "PPRVector",
+    "PushResult",
+    "TrackedPPR",
+    "ppr_single_pair",
+    "signed_forward_push",
+    "QueryStats",
+    "ResAcc",
+    "ReversePushResult",
+    "SpeedPPR",
+    "SpeedPPRPlus",
+    "SubProcessTimers",
+    "TopPPR",
+    "WalkIndex",
+    "csr_view",
+    "forward_push",
+    "ppr_exact",
+    "ppr_exact_all_pairs",
+    "reverse_push",
+    "sample_walk_terminals",
+]

@@ -1,0 +1,139 @@
+"""Cached CSR (compressed sparse row) views of a dynamic graph.
+
+All inner loops of the PPR algorithms — forward/reverse push, vectorized
+random walks, power iteration — run over flat numpy arrays rather than
+Python adjacency dicts.  :class:`CSRView` snapshots a
+:class:`~repro.graph.DynamicGraph` into those arrays and is cached per
+graph *version*, so consecutive queries between updates rebuild nothing,
+while any edge insert/delete transparently invalidates the view.
+
+This is the Python analogue of the compressed adjacency arrays the
+reference C++ implementations use, and is the main reason a pure-Python
+reproduction of the paper's latency-sensitive experiments is feasible.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.graph.digraph import DynamicGraph
+
+
+class CSRView:
+    """Immutable array snapshot of a graph.
+
+    Attributes
+    ----------
+    nodes:
+        Node ids in index order; ``nodes[i]`` is the id of index ``i``.
+    index:
+        Mapping node id -> dense index.
+    indptr, indices:
+        Out-adjacency in CSR form: the out-neighbors (as dense indices)
+        of node index ``i`` are ``indices[indptr[i]:indptr[i + 1]]``.
+    in_indptr, in_indices:
+        In-adjacency in the same form (for reverse push).
+    out_deg, in_deg:
+        Degree arrays.
+    """
+
+    __slots__ = (
+        "nodes",
+        "index",
+        "indptr",
+        "indices",
+        "in_indptr",
+        "in_indices",
+        "out_deg",
+        "in_deg",
+        "n",
+        "m",
+        "version",
+        "identity_ids",
+    )
+
+    def __init__(self, graph: DynamicGraph) -> None:
+        self.version = graph.version
+        self.nodes = np.fromiter(graph.nodes(), dtype=np.int64, count=graph.num_nodes)
+        self.n = int(self.nodes.size)
+        self.m = graph.num_edges
+        # Fast path: contiguous ids 0..n-1 need no dict lookups.
+        self.identity_ids = bool(
+            self.n == 0 or (self.nodes[0] == 0 and self.nodes[-1] == self.n - 1
+                            and np.all(np.diff(self.nodes) == 1))
+        )
+        if self.identity_ids:
+            self.index = None
+        else:
+            self.index = {int(v): i for i, v in enumerate(self.nodes)}
+
+        out_deg = np.empty(self.n, dtype=np.int64)
+        in_deg = np.empty(self.n, dtype=np.int64)
+        for i in range(self.n):
+            v = int(self.nodes[i])
+            out_deg[i] = graph.out_degree(v)
+            in_deg[i] = graph.in_degree(v)
+        self.out_deg = out_deg
+        self.in_deg = in_deg
+
+        self.indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(out_deg, out=self.indptr[1:])
+        self.indices = np.empty(int(self.indptr[-1]), dtype=np.int64)
+        self.in_indptr = np.zeros(self.n + 1, dtype=np.int64)
+        np.cumsum(in_deg, out=self.in_indptr[1:])
+        self.in_indices = np.empty(int(self.in_indptr[-1]), dtype=np.int64)
+
+        to_index = self.to_index
+        pos = self.indptr[:-1].copy()
+        in_pos = self.in_indptr[:-1].copy()
+        for i in range(self.n):
+            v = int(self.nodes[i])
+            for w in graph.out_neighbors(v):
+                j = to_index(w)
+                self.indices[pos[i]] = j
+                pos[i] += 1
+            for w in graph.in_neighbors(v):
+                j = to_index(w)
+                self.in_indices[in_pos[i]] = j
+                in_pos[i] += 1
+
+    # ------------------------------------------------------------------
+    def to_index(self, node: int) -> int:
+        """Dense index of a node id."""
+        if self.identity_ids:
+            if not 0 <= node < self.n:
+                raise KeyError(f"node {node} not in graph snapshot")
+            return node
+        return self.index[node]
+
+    def to_node(self, i: int) -> int:
+        """Node id of a dense index."""
+        return int(self.nodes[i])
+
+    def out_neighbors_of(self, i: int) -> np.ndarray:
+        """Out-neighbor indices of node index ``i``."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def in_neighbors_of(self, i: int) -> np.ndarray:
+        """In-neighbor indices of node index ``i``."""
+        return self.in_indices[self.in_indptr[i]:self.in_indptr[i + 1]]
+
+
+_cache: "weakref.WeakKeyDictionary[DynamicGraph, CSRView]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def csr_view(graph: DynamicGraph) -> CSRView:
+    """Return the (possibly cached) CSR snapshot of ``graph``.
+
+    The snapshot is rebuilt only when the graph's version counter has
+    moved since the last call — queries between updates share one view.
+    """
+    view = _cache.get(graph)
+    if view is None or view.version != graph.version:
+        view = CSRView(graph)
+        _cache[graph] = view
+    return view

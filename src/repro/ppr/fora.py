@@ -1,0 +1,159 @@
+"""FORA and FORA+ (Wang et al., KDD 2017) adapted to dynamic graphs.
+
+Both answer SSPPR queries with the Push+Walk framework: forward push
+with threshold ``r_max`` followed by K-scaled random walks on the
+remaining residues.
+
+* :class:`Fora` (index-free) simulates walks online; an edge update only
+  mutates the graph, so its update cost is a small constant — the
+  ``t_u = tau_3`` row of Table I.
+* :class:`ForaPlus` (index-based) reads walk terminals from a
+  precomputed :class:`~repro.ppr.random_walk.WalkIndex`; an edge update
+  must regenerate the index (O(m r_max K) walks) — the
+  ``t_u = r_max * tau_3`` row of Table I.
+
+The paper's default threshold r_max = 1/sqrt(alpha m K) equalizes the
+two complexity terms; Quota's whole point is that this is generally
+*not* the response-time optimum.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.digraph import DynamicGraph
+from repro.graph.updates import EdgeUpdate
+from repro.ppr.base import (
+    DynamicPPRAlgorithm,
+    PPRParams,
+    PPRVector,
+    QueryStats,
+    clip_unit,
+)
+from repro.ppr.forward_push import forward_push
+from repro.ppr.pushwalk import add_walk_estimates
+from repro.ppr.random_walk import WalkIndex
+
+
+class Fora(DynamicPPRAlgorithm):
+    """Index-free FORA.
+
+    Hyperparameters
+    ---------------
+    r_max:
+        Forward-push threshold; smaller means more push work and fewer
+        walks.  Default 1/sqrt(alpha m K).
+    """
+
+    name = "FORA"
+    is_index_based = False
+    hyperparameter_names = ("r_max",)
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+    ) -> None:
+        super().__init__(graph, params)
+        self.r_max = r_max if r_max is not None else self.default_r_max()
+
+    def default_r_max(self) -> float:
+        """The paper's complexity-balancing default 1/sqrt(alpha m K)."""
+        view = self.view
+        k = self.params.num_walks(view.n)
+        m = max(view.m, 1)
+        return clip_unit(1.0 / math.sqrt(self.params.alpha * m * k))
+
+    def default_hyperparameters(self) -> dict[str, float]:
+        return {"r_max": self.default_r_max()}
+
+    # ------------------------------------------------------------------
+    def query(self, source: int) -> PPRVector:
+        view = self.view
+        stats = QueryStats()
+        with self.timers.measure("Forward Push"):
+            push = forward_push(
+                view, view.to_index(source), self.params.alpha, self.r_max
+            )
+            stats.pushes = push.pushes
+        with self.timers.measure("Random Walk"):
+            walk = add_walk_estimates(
+                view,
+                push.reserve,
+                push.residue,
+                self.params.alpha,
+                self.params.num_walks(view.n),
+                self._rng,
+                index=self._walk_index(),
+            )
+            stats.walks = walk.num_walks
+        self.last_query_stats = stats
+        return PPRVector(push.reserve, view, source)
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        with self.timers.measure("Graph Update"):
+            resolved = update.apply(self.graph)
+            self.view  # refresh the CSR snapshot inside the update cost
+        return resolved
+
+    def _walk_index(self) -> WalkIndex | None:
+        """Index-free FORA samples online."""
+        return None
+
+
+class ForaPlus(Fora):
+    """Index-based FORA+ — fast queries, index rebuild on every update."""
+
+    name = "FORA+"
+    is_index_based = True
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+    ) -> None:
+        super().__init__(graph, params, r_max)
+        self._index: WalkIndex | None = None
+        self._ensure_index()
+
+    @property
+    def index(self) -> WalkIndex:
+        self._ensure_index()
+        return self._index
+
+    def _walks_per_unit(self) -> float:
+        view = self.view
+        return self.r_max * self.params.num_walks(view.n)
+
+    def _ensure_index(self) -> None:
+        if self._index is None or self._index.view is not self.view:
+            with self.timers.measure("Index Build"):
+                self._index = WalkIndex(
+                    self.view, self.params.alpha, self._walks_per_unit(), self._rng
+                )
+
+    def _on_hyperparameters_changed(self) -> None:
+        """Changing r_max changes the index budget; rebuild it."""
+        with self.timers.measure("Index Build"):
+            self._index = WalkIndex(
+                self.view, self.params.alpha, self._walks_per_unit(), self._rng
+            )
+
+    def _walk_index(self) -> WalkIndex:
+        self._ensure_index()
+        return self._index
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        with self.timers.measure("Graph Update"):
+            resolved = update.apply(self.graph)
+        with self.timers.measure("Index Build"):
+            # FORA+ has no incremental maintenance: regenerate the walk
+            # index on the new snapshot (the O(m r_max K) update cost).
+            self._index = WalkIndex(
+                self.view, self.params.alpha, self._walks_per_unit(), self._rng
+            )
+        return resolved

@@ -1,0 +1,85 @@
+"""Shared residue-to-walk estimation step of the Push+Walk framework.
+
+FORA, FORA+, SpeedPPR(+), Agenda and the top-k methods all finish a
+query the same way: after a (forward-push or power-iteration) phase
+leaves residues r(v), each node v contributes ceil(r(v) * K) random
+walks of weight r(v) / ceil(r(v) * K), whose terminals are added to the
+reserve.  This preserves the FORA invariant
+
+    pi(s, t) = reserve(t) + sum_v r(v) * pi(v, t)
+
+in expectation, which yields the Eq. 1 guarantee with the standard
+Chernoff argument for K = (2 eps/3 + 2) ln(2/p_f) / (eps^2 delta).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ppr.csr import CSRView
+from repro.ppr.random_walk import WalkIndex, sample_walk_terminals
+
+
+@dataclass(slots=True)
+class WalkPhaseResult:
+    """Walk counts of the estimation step (for cost accounting)."""
+
+    num_walks: int
+    num_source_nodes: int
+
+
+def add_walk_estimates(
+    view: CSRView,
+    reserve: np.ndarray,
+    residue: np.ndarray,
+    alpha: float,
+    num_walks_k: int,
+    rng: np.random.Generator,
+    index: WalkIndex | None = None,
+) -> WalkPhaseResult:
+    """Fold the residue vector into ``reserve`` via random walks.
+
+    Parameters
+    ----------
+    view:
+        Graph snapshot the walks run on.
+    reserve:
+        Estimate array, mutated in place.
+    residue:
+        Residue array left by the push phase (read-only).
+    alpha:
+        Walk termination probability (ignored when ``index`` given —
+        the index was sampled with its own alpha).
+    num_walks_k:
+        The K parameter: walks per unit of residue.
+    rng:
+        Randomness for online sampling.
+    index:
+        When provided (index-based algorithms), terminals are read from
+        the precomputed store instead of being simulated.
+
+    Returns
+    -------
+    WalkPhaseResult
+        Number of walks consumed and number of residue nodes.
+    """
+    holders = np.flatnonzero(residue > 0.0)
+    if holders.size == 0:
+        return WalkPhaseResult(0, 0)
+    res = residue[holders]
+    counts = np.ceil(res * num_walks_k).astype(np.int64)
+    np.maximum(counts, 1, out=counts)
+    weights = res / counts
+
+    if index is None:
+        starts = np.repeat(holders, counts)
+        per_walk_weight = np.repeat(weights, counts)
+        terminals = sample_walk_terminals(view, starts, alpha, rng)
+        np.add.at(reserve, terminals, per_walk_weight)
+    else:
+        for node, count, weight in zip(holders, counts, weights):
+            terminals = index.terminals_for(int(node), int(count))
+            np.add.at(reserve, terminals, weight)
+    return WalkPhaseResult(int(counts.sum()), int(holders.size))

@@ -1,0 +1,209 @@
+"""Alpha-decay random walks and the precomputed walk index.
+
+The Monte-Carlo half of the Push+Walk framework: a walk starts at a
+node, terminates with probability alpha at each step, and otherwise
+moves to a uniform out-neighbor; its terminal node is a sample from the
+PPR distribution of its start node.
+
+Two facilities live here:
+
+* :func:`sample_walk_terminals` — vectorized batch simulation over the
+  CSR arrays (the performance-critical primitive of the repository).
+* :class:`WalkIndex` — the per-node precomputed walk store used by the
+  index-based algorithms (FORA+, SpeedPPR+, Agenda).  The index stores
+  ceil(r_max * K * d_out(v)) terminals per node — exactly the budget a
+  forward push with threshold r_max can consume, which is why the
+  index (re)build cost is O(m * r_max * K), the update cost in Table I.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ppr.csr import CSRView
+
+
+def sample_walk_terminals(
+    view: CSRView,
+    starts: np.ndarray,
+    alpha: float,
+    rng: np.random.Generator,
+    max_steps: int = 10_000,
+) -> np.ndarray:
+    """Simulate one alpha-decay walk per entry of ``starts``.
+
+    Parameters
+    ----------
+    view:
+        CSR snapshot of the graph.
+    starts:
+        Array of dense start indices (one walk each).
+    alpha:
+        Termination probability per step.
+    rng:
+        Numpy random generator.
+    max_steps:
+        Safety bound; walks still alive after this many steps are
+        terminated in place (probability (1-alpha)^max_steps, i.e.
+        never in practice).
+
+    Returns
+    -------
+    numpy.ndarray
+        Terminal node index per walk, same shape as ``starts``.
+
+    Notes
+    -----
+    All walks advance in lock-step: per iteration we draw termination
+    coins for the still-active walks, retire dangling-node walks (the
+    implicit-self-loop convention makes them terminate where they are),
+    and move the rest to a uniformly chosen out-neighbor via pure array
+    indexing.  Expected iterations = 1/alpha, so the cost is
+    O(len(starts) / alpha) numpy-vectorized steps.
+    """
+    terminals = np.asarray(starts, dtype=np.int64).copy()
+    if terminals.size == 0:
+        return terminals
+    indptr = view.indptr
+    indices = view.indices
+    out_deg = view.out_deg
+
+    active = np.arange(terminals.size)
+    for _ in range(max_steps):
+        if active.size == 0:
+            break
+        current = terminals[active]
+        survive = rng.random(active.size) >= alpha
+        degs = out_deg[current]
+        moving = survive & (degs > 0)
+        if not moving.any():
+            active = active[np.zeros(active.size, dtype=bool)]
+            break
+        movers = active[moving]
+        cur = current[moving]
+        offsets = (rng.random(movers.size) * out_deg[cur]).astype(np.int64)
+        terminals[movers] = indices[indptr[cur] + offsets]
+        active = movers
+    return terminals
+
+
+def walk_steps_estimate(num_walks: int, alpha: float) -> float:
+    """Expected total walk steps for ``num_walks`` alpha-decay walks."""
+    return num_walks * (1.0 - alpha) / alpha
+
+
+class WalkIndex:
+    """Per-node store of precomputed walk terminals.
+
+    Parameters
+    ----------
+    view:
+        CSR snapshot the walks are sampled on.
+    alpha:
+        Walk termination probability.
+    walks_per_unit:
+        The product r_max * K: node v stores
+        ceil(walks_per_unit * max(d_out(v), 1)) terminals.
+    rng:
+        Numpy generator used for sampling.
+
+    The index is valid only for the graph version it was built on;
+    owners (FORA+/Agenda) are responsible for rebuilding or refreshing
+    after updates — that is precisely the update cost Quota models.
+    """
+
+    def __init__(
+        self,
+        view: CSRView,
+        alpha: float,
+        walks_per_unit: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self.alpha = alpha
+        self.walks_per_unit = walks_per_unit
+        self._rng = rng
+        self.view = view
+        self.counts = np.maximum(
+            np.ceil(walks_per_unit * np.maximum(view.out_deg, 1)).astype(np.int64),
+            1,
+        )
+        self.offsets = np.zeros(view.n + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        self.terminals = np.empty(int(self.offsets[-1]), dtype=np.int64)
+        self._build_all()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_walks(self) -> int:
+        """Total stored walks — the O(m r_max K) quantity of Table I."""
+        return int(self.terminals.size)
+
+    def _build_all(self) -> None:
+        starts = np.repeat(np.arange(self.view.n, dtype=np.int64), self.counts)
+        self.terminals = sample_walk_terminals(
+            self.view, starts, self.alpha, self._rng
+        )
+
+    def rebuild(self, view: CSRView) -> int:
+        """Re-sample every stored walk on a fresh snapshot.
+
+        Returns the number of walks sampled (the update cost driver for
+        FORA+/SpeedPPR+, which regenerate the whole index per update).
+        """
+        self.view = view
+        self.counts = np.maximum(
+            np.ceil(
+                self.walks_per_unit * np.maximum(view.out_deg, 1)
+            ).astype(np.int64),
+            1,
+        )
+        self.offsets = np.zeros(view.n + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=self.offsets[1:])
+        self._build_all()
+        return self.total_walks
+
+    def refresh_nodes(self, view: CSRView, node_indices: np.ndarray) -> int:
+        """Re-sample only the walks of ``node_indices`` (Agenda's lazy fix).
+
+        The stored walk *counts* are kept; only terminals are refreshed
+        on the new snapshot.  Returns the number of walks re-sampled.
+        """
+        self.view = view
+        node_indices = np.asarray(node_indices, dtype=np.int64)
+        if node_indices.size == 0:
+            return 0
+        counts = (
+            self.offsets[node_indices + 1] - self.offsets[node_indices]
+        )
+        total = int(counts.sum())
+        if total == 0:
+            return 0
+        # one batched simulation for every walk of every selected node
+        starts = np.repeat(node_indices, counts)
+        sampled = sample_walk_terminals(view, starts, self.alpha, self._rng)
+        # flat destination slots: for each node the range offsets[i]:offsets[i+1]
+        exclusive = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        dest = (
+            np.repeat(self.offsets[node_indices] - exclusive, counts)
+            + np.arange(total)
+        )
+        self.terminals[dest] = sampled
+        return total
+
+    def terminals_for(self, node_index: int, count: int) -> np.ndarray:
+        """Up to ``count`` stored terminals for walks starting at a node.
+
+        If the caller needs more walks than stored (possible when the
+        push left more residue than the index budget anticipated), the
+        stored sample is recycled round-robin — a standard index-based
+        implementation trick that keeps the estimator unbiased
+        conditioned on the stored sample.
+        """
+        lo, hi = int(self.offsets[node_index]), int(self.offsets[node_index + 1])
+        stored = self.terminals[lo:hi]
+        if count <= stored.size:
+            return stored[:count]
+        reps = int(math.ceil(count / stored.size))
+        return np.tile(stored, reps)[:count]

@@ -1,0 +1,178 @@
+"""SpeedPPR and SpeedPPR+ (Wu et al., SIGMOD 2021).
+
+SpeedPPR unifies the *global* approach (whole-graph power iteration)
+with the *local* one (forward push): it runs vectorized power-iteration
+sweeps — which act like a simultaneous push on every node — until the
+total residue drops below ``r_max * m``, then hands the remaining
+residues to the random-walk estimator.
+
+Query cost ~ m * log(1 / (r_max m)) + m * r_max * W, the Table I form
+``log(1/(r_max m)) tau_1 + r_max tau_2`` once the graph-size factors are
+folded into the constants.
+
+* :class:`SpeedPPR` — index-free; O(1)-ish updates (``tau_3``).
+* :class:`SpeedPPRPlus` — walk index; update regenerates the index
+  (``r_max * tau_3``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.digraph import DynamicGraph
+from repro.graph.updates import EdgeUpdate
+from repro.ppr.base import (
+    DynamicPPRAlgorithm,
+    PPRParams,
+    PPRVector,
+    QueryStats,
+    clip_unit,
+)
+from repro.ppr.power_iteration import transition_matrix
+from repro.ppr.pushwalk import add_walk_estimates
+from repro.ppr.random_walk import WalkIndex
+
+
+class SpeedPPR(DynamicPPRAlgorithm):
+    """Index-free SpeedPPR (PowerPush + online walks).
+
+    Hyperparameters
+    ---------------
+    r_max:
+        Residue-sum stopping threshold of the power-iteration phase,
+        expressed per edge: sweeps stop once sum(residue) <= r_max * m.
+    """
+
+    name = "SpeedPPR"
+    is_index_based = False
+    hyperparameter_names = ("r_max",)
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+    ) -> None:
+        super().__init__(graph, params)
+        self._matrix_t: sparse.csr_matrix | None = None
+        self._matrix_view = None
+        self.r_max = r_max if r_max is not None else self.default_r_max()
+
+    def default_r_max(self) -> float:
+        """Default that balances sweeps against walks: 1/sqrt(m W)."""
+        view = self.view
+        w = self._num_walks()
+        m = max(view.m, 1)
+        return clip_unit(1.0 / math.sqrt(m * w))
+
+    def default_hyperparameters(self) -> dict[str, float]:
+        return {"r_max": self.default_r_max()}
+
+    def _num_walks(self) -> int:
+        """SpeedPPR's W = 2 (2 eps/3 + 2) log(n) / (eps^2 delta), capped."""
+        n = max(self.view.n, 2)
+        params = self.params
+        delta = params.resolved_delta(n)
+        w = 2 * (2 * params.epsilon / 3 + 2) * math.log(n) / (
+            params.epsilon**2 * delta
+        )
+        return max(1, min(int(math.ceil(w)), params.walk_cap))
+
+    def _transition_t(self) -> sparse.csr_matrix:
+        """Cached P^T for the current snapshot."""
+        view = self.view
+        if self._matrix_t is None or self._matrix_view is not view:
+            self._matrix_t = transition_matrix(view).T.tocsr()
+            self._matrix_view = view
+        return self._matrix_t
+
+    # ------------------------------------------------------------------
+    def query(self, source: int) -> PPRVector:
+        view = self.view
+        stats = QueryStats()
+        alpha = self.params.alpha
+        with self.timers.measure("Power Iteration"):
+            matrix_t = self._transition_t()
+            residue = np.zeros(view.n, dtype=np.float64)
+            residue[view.to_index(source)] = 1.0
+            reserve = np.zeros(view.n, dtype=np.float64)
+            stop_mass = min(self.r_max * max(view.m, 1), 0.999)
+            sweeps = 0
+            # Each sweep multiplies the residue mass by (1 - alpha), so
+            # the loop runs ~ log(1/(r_max m)) / log(1/(1-alpha)) times.
+            while residue.sum() > stop_mass and sweeps < 200:
+                reserve += alpha * residue
+                residue = (1.0 - alpha) * (matrix_t @ residue)
+                sweeps += 1
+            stats.extra["sweeps"] = sweeps
+        with self.timers.measure("Random Walk"):
+            walk = add_walk_estimates(
+                view,
+                reserve,
+                residue,
+                alpha,
+                self._num_walks(),
+                self._rng,
+                index=self._walk_index(),
+            )
+            stats.walks = walk.num_walks
+        self.last_query_stats = stats
+        return PPRVector(reserve, view, source)
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        with self.timers.measure("Graph Update"):
+            resolved = update.apply(self.graph)
+            self.view  # refresh snapshot within the update cost
+        return resolved
+
+    def _walk_index(self) -> WalkIndex | None:
+        return None
+
+
+class SpeedPPRPlus(SpeedPPR):
+    """Index-based SpeedPPR+ — precomputed walks, rebuilt per update."""
+
+    name = "SpeedPPR+"
+    is_index_based = True
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+    ) -> None:
+        super().__init__(graph, params, r_max)
+        self._index: WalkIndex | None = None
+        self._ensure_index()
+
+    def _walks_per_unit(self) -> float:
+        return self.r_max * self._num_walks()
+
+    def _ensure_index(self) -> None:
+        if self._index is None or self._index.view is not self.view:
+            with self.timers.measure("Index Build"):
+                self._index = WalkIndex(
+                    self.view, self.params.alpha, self._walks_per_unit(), self._rng
+                )
+
+    def _on_hyperparameters_changed(self) -> None:
+        with self.timers.measure("Index Build"):
+            self._index = WalkIndex(
+                self.view, self.params.alpha, self._walks_per_unit(), self._rng
+            )
+
+    def _walk_index(self) -> WalkIndex:
+        self._ensure_index()
+        return self._index
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        with self.timers.measure("Graph Update"):
+            resolved = update.apply(self.graph)
+        with self.timers.measure("Index Build"):
+            self._index = WalkIndex(
+                self.view, self.params.alpha, self._walks_per_unit(), self._rng
+            )
+        return resolved

@@ -1,0 +1,112 @@
+"""Workload trace persistence (CSV).
+
+Real deployments replay recorded request logs (the paper extracts 100
+events from the Wikipedia stream, records "the source node, request
+type, and arrival time stamp", and replays them).  This module stores
+and loads workloads in exactly that shape:
+
+    # timestamp,kind,a,b
+    0.01314,query,42,
+    0.01892,update,17,205
+
+where ``a`` is the query source (queries) or the edge tail (updates)
+and ``b`` the edge head (updates only).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.graph.updates import EdgeUpdate
+from repro.queueing.workload import QUERY, UPDATE, Request, Workload
+
+_HEADER = ["timestamp", "kind", "a", "b"]
+
+
+def save_workload_trace(
+    workload: Workload, path: str | os.PathLike[str]
+) -> None:
+    """Write a workload to a CSV trace file."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for request in workload:
+            if request.kind == QUERY:
+                writer.writerow(
+                    [f"{request.arrival!r}", QUERY, request.source, ""]
+                )
+            else:
+                writer.writerow(
+                    [
+                        f"{request.arrival!r}",
+                        UPDATE,
+                        request.update.u,
+                        request.update.v,
+                    ]
+                )
+
+
+def load_workload_trace(
+    path: str | os.PathLike[str], t_end: float | None = None
+) -> Workload:
+    """Load a workload from a CSV trace file.
+
+    Parameters
+    ----------
+    path:
+        Trace written by :func:`save_workload_trace` (or hand-authored
+        in the same format).
+    t_end:
+        Window length; defaults to the last timestamp in the trace.
+
+    Raises
+    ------
+    ValueError
+        On malformed rows (bad kind, missing fields, negative time).
+    """
+    requests: list[Request] = []
+    with open(path, encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ValueError(f"{path}: empty trace file")
+        if [h.strip() for h in header] != _HEADER:
+            raise ValueError(
+                f"{path}: expected header {_HEADER}, got {header}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            if len(row) != 4:
+                raise ValueError(f"{path}:{line_no}: expected 4 columns")
+            timestamp = float(row[0])
+            if timestamp < 0:
+                raise ValueError(
+                    f"{path}:{line_no}: negative timestamp {timestamp}"
+                )
+            kind = row[1].strip()
+            if kind == QUERY:
+                requests.append(
+                    Request(timestamp, QUERY, source=int(row[2]))
+                )
+            elif kind == UPDATE:
+                requests.append(
+                    Request(
+                        timestamp,
+                        UPDATE,
+                        update=EdgeUpdate(int(row[2]), int(row[3])),
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown request kind {kind!r}"
+                )
+    requests.sort(key=lambda r: r.arrival)
+    horizon = t_end if t_end is not None else (
+        requests[-1].arrival if requests else 0.0
+    )
+    num_q = sum(1 for r in requests if r.kind == QUERY)
+    num_u = len(requests) - num_q
+    span = max(horizon, 1e-12)
+    return Workload(requests, horizon, num_q / span, num_u / span)

@@ -1,0 +1,3 @@
+"""Repository-wide test fixtures."""
+
+from tests.timing_utils import no_gc  # noqa: F401  (re-exported fixture)

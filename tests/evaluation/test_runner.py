@@ -1,0 +1,106 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.evaluation import (
+    DatasetSpec,
+    ExperimentConfig,
+    build_algorithm,
+    run_experiment,
+)
+from repro.queueing import generate_workload
+
+TINY = DatasetSpec(
+    name="tiny", nodes=80, edges=400, directed=True, kind="ba",
+    lambda_q=20.0, window=1.5, walk_cap=500,
+)
+
+
+class TestBuildAlgorithm:
+    def test_builds_registered_algorithm(self):
+        graph = TINY.build(seed=0)
+        alg = build_algorithm("FORA", graph, walk_cap=500, seed=1)
+        assert alg.name == "FORA"
+        assert alg.params.walk_cap == 500
+
+    def test_unknown_algorithm(self):
+        graph = TINY.build(seed=0)
+        with pytest.raises(KeyError):
+            build_algorithm("PageRank2000", graph, walk_cap=500)
+
+
+class TestRunExperiment:
+    def test_baseline_run(self):
+        config = ExperimentConfig(
+            algorithm="FORA", lambda_q=20.0, lambda_u=10.0, window=1.0
+        )
+        outcome = run_experiment(TINY, config)
+        assert outcome.response.count > 0
+        assert outcome.mean_response_time > 0
+        assert outcome.decision is None
+        assert "Forward Push" in outcome.subprocess_totals
+
+    def test_quota_run_records_decision(self):
+        config = ExperimentConfig(
+            algorithm="FORA",
+            use_quota=True,
+            lambda_q=20.0,
+            lambda_u=10.0,
+            window=1.0,
+            calibration_queries=2,
+        )
+        outcome = run_experiment(TINY, config)
+        assert outcome.decision is not None
+        assert 0 < outcome.decision.beta["r_max"] < 1
+
+    def test_quota_c_ablation_differs(self):
+        """Dropping constants must change the chosen configuration."""
+        base = ExperimentConfig(
+            algorithm="FORA", use_quota=True, lambda_q=20.0, lambda_u=10.0,
+            window=1.0, calibration_queries=2,
+        )
+        ablated = ExperimentConfig(
+            algorithm="FORA", use_quota=True, quota_without_constants=True,
+            lambda_q=20.0, lambda_u=10.0, window=1.0, calibration_queries=2,
+        )
+        a = run_experiment(TINY, base)
+        b = run_experiment(TINY, ablated)
+        assert a.decision.beta != b.decision.beta
+
+    def test_shared_workload_paired_comparison(self):
+        """Passing graph+workload replays identical request sequences."""
+        graph = TINY.build(seed=5)
+        workload = generate_workload(graph, 20.0, 10.0, 1.0, rng=9)
+        config = ExperimentConfig(algorithm="FORA")
+        a = run_experiment(TINY, config, workload=workload, graph=graph)
+        b = run_experiment(TINY, config, workload=workload, graph=graph)
+        assert a.response.count == b.response.count
+        # the original graph must not have been mutated
+        assert graph.num_nodes == 80
+
+    def test_accuracy_measurement(self):
+        config = ExperimentConfig(
+            algorithm="FORA",
+            lambda_q=30.0,
+            lambda_u=10.0,
+            window=1.0,
+            measure_accuracy=True,
+            accuracy_sample=5,
+        )
+        outcome = run_experiment(TINY, config)
+        assert len(outcome.accuracy) >= 1
+        assert outcome.mean_accuracy_error() < 0.2
+
+    def test_seed_reordering_config(self):
+        config = ExperimentConfig(
+            algorithm="FORA+", epsilon_r=0.5, lambda_q=20.0, lambda_u=20.0,
+            window=1.0,
+        )
+        outcome = run_experiment(TINY, config)
+        assert outcome.response.count > 0
+
+    def test_no_accuracy_by_default(self):
+        config = ExperimentConfig(algorithm="FORA", window=0.5)
+        outcome = run_experiment(TINY, config)
+        assert outcome.accuracy == []
+        assert outcome.mean_accuracy_error() == 0.0

@@ -1,0 +1,99 @@
+"""Tests for the cached CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, barabasi_albert_graph
+from repro.ppr import csr_view
+from repro.ppr.csr import CSRView
+
+
+class TestCSRStructure:
+    def test_adjacency_matches_graph(self):
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 2), (2, 0)])
+        view = csr_view(g)
+        assert view.n == 3
+        assert view.m == 4
+        assert sorted(view.out_neighbors_of(view.to_index(0)).tolist()) == [
+            view.to_index(1),
+            view.to_index(2),
+        ]
+        assert sorted(view.in_neighbors_of(view.to_index(2)).tolist()) == [
+            view.to_index(0),
+            view.to_index(1),
+        ]
+
+    def test_degrees(self):
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (3, 0)])
+        view = csr_view(g)
+        assert view.out_deg[view.to_index(0)] == 2
+        assert view.in_deg[view.to_index(0)] == 1
+
+    def test_identity_fast_path(self):
+        g = DynamicGraph(num_nodes=5)
+        g.add_edge(0, 1)
+        view = csr_view(g)
+        assert view.identity_ids
+        assert view.to_index(3) == 3
+
+    def test_identity_fast_path_bad_node_raises(self):
+        g = DynamicGraph(num_nodes=3)
+        view = csr_view(g)
+        with pytest.raises(KeyError):
+            view.to_index(99)
+
+    def test_non_contiguous_ids(self):
+        g = DynamicGraph.from_edges([(10, 20), (20, 30)])
+        view = csr_view(g)
+        assert not view.identity_ids
+        i = view.to_index(20)
+        assert view.to_node(i) == 20
+        assert view.out_deg[i] == 1
+
+    def test_empty_graph(self):
+        view = csr_view(DynamicGraph())
+        assert view.n == 0
+        assert view.indices.size == 0
+
+
+class TestCaching:
+    def test_same_view_until_mutation(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        a = csr_view(g)
+        b = csr_view(g)
+        assert a is b
+
+    def test_rebuild_after_edge_insert(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        a = csr_view(g)
+        g.add_edge(1, 0)
+        b = csr_view(g)
+        assert a is not b
+        assert b.m == 2
+
+    def test_rebuild_after_edge_delete(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 0)])
+        a = csr_view(g)
+        g.remove_edge(0, 1)
+        b = csr_view(g)
+        assert a is not b
+        assert b.m == 1
+
+    def test_independent_graphs_independent_views(self):
+        g1 = DynamicGraph.from_edges([(0, 1)])
+        g2 = DynamicGraph.from_edges([(0, 1)])
+        assert csr_view(g1) is not csr_view(g2)
+
+
+def test_large_graph_consistency():
+    g = barabasi_albert_graph(200, attach=2, seed=5)
+    view = csr_view(g)
+    # every edge appears exactly once in the CSR arrays
+    pairs = set()
+    for i in range(view.n):
+        u = view.to_node(i)
+        for j in view.out_neighbors_of(i):
+            pairs.add((u, view.to_node(int(j))))
+    assert pairs == set(g.edges())
+    assert int(view.out_deg.sum()) == g.num_edges
+    assert int(view.in_deg.sum()) == g.num_edges

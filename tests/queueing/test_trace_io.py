@@ -1,0 +1,112 @@
+"""Tests for workload trace persistence."""
+
+import pytest
+
+from repro.graph import barabasi_albert_graph
+from repro.queueing import generate_workload
+from repro.queueing.trace_io import load_workload_trace, save_workload_trace
+from repro.queueing.workload import QUERY, UPDATE
+
+
+@pytest.fixture
+def workload():
+    graph = barabasi_albert_graph(40, attach=2, seed=1)
+    return generate_workload(graph, 10.0, 5.0, 4.0, rng=2)
+
+
+class TestRoundTrip:
+    def test_requests_preserved(self, workload, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_workload_trace(workload, path)
+        loaded = load_workload_trace(path, t_end=workload.t_end)
+        assert len(loaded) == len(workload)
+        for a, b in zip(workload, loaded):
+            assert a.arrival == pytest.approx(b.arrival)
+            assert a.kind == b.kind
+            if a.kind == QUERY:
+                assert a.source == b.source
+            else:
+                assert (a.update.u, a.update.v) == (b.update.u, b.update.v)
+
+    def test_rates_recomputed(self, workload, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_workload_trace(workload, path)
+        loaded = load_workload_trace(path, t_end=workload.t_end)
+        lq, lu = loaded.empirical_rates()
+        assert lq == pytest.approx(workload.empirical_rates()[0])
+        assert lu == pytest.approx(workload.empirical_rates()[1])
+
+    def test_default_t_end_is_last_arrival(self, workload, tmp_path):
+        path = tmp_path / "trace.csv"
+        save_workload_trace(workload, path)
+        loaded = load_workload_trace(path)
+        assert loaded.t_end == pytest.approx(workload[-1].arrival)
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty trace"):
+            load_workload_trace(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("time,type\n")
+        with pytest.raises(ValueError, match="expected header"):
+            load_workload_trace(path)
+
+    def test_bad_kind_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,kind,a,b\n1.0,compact,3,\n")
+        with pytest.raises(ValueError, match="unknown request kind"):
+            load_workload_trace(path)
+
+    def test_negative_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,kind,a,b\n-1.0,query,3,\n")
+        with pytest.raises(ValueError, match="negative timestamp"):
+            load_workload_trace(path)
+
+    def test_wrong_column_count_rejected(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("timestamp,kind,a,b\n1.0,query\n")
+        with pytest.raises(ValueError, match="expected 4 columns"):
+            load_workload_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,kind,a,b\n1.0,query,3,\n\n2.0,update,1,2\n"
+        )
+        loaded = load_workload_trace(path)
+        assert len(loaded) == 2
+
+    def test_unsorted_trace_sorted_on_load(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "timestamp,kind,a,b\n5.0,query,1,\n1.0,query,2,\n"
+        )
+        loaded = load_workload_trace(path)
+        assert [r.arrival for r in loaded] == [1.0, 5.0]
+
+
+def test_loaded_trace_replays_through_system(workload, tmp_path):
+    """A persisted trace drives QuotaSystem identically to the original."""
+    from repro.core import QuotaSystem
+    from repro.graph import barabasi_albert_graph
+    from repro.ppr import Fora, PPRParams
+
+    path = tmp_path / "trace.csv"
+    save_workload_trace(workload, path)
+    loaded = load_workload_trace(path, t_end=workload.t_end)
+
+    graph = barabasi_albert_graph(40, attach=2, seed=1)
+    a = Fora(graph.copy(), PPRParams(walk_cap=300))
+    b = Fora(graph.copy(), PPRParams(walk_cap=300))
+    a.seed(0)
+    b.seed(0)
+    ra = QuotaSystem(a).process(workload)
+    rb = QuotaSystem(b).process(loaded)
+    assert len(ra) == len(rb)
+    assert set(a.graph.edges()) == set(b.graph.edges())

@@ -1,0 +1,158 @@
+"""Tests for workload generation and dynamic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.graph import DynamicGraph, EdgeUpdate, barabasi_albert_graph
+from repro.queueing import (
+    Request,
+    Workload,
+    WorkloadSegment,
+    dynamic_pattern_segments,
+    generate_segmented_workload,
+    generate_workload,
+)
+from repro.queueing.workload import QUERY, UPDATE
+
+
+@pytest.fixture
+def graph():
+    return barabasi_albert_graph(50, attach=2, seed=1)
+
+
+class TestRequest:
+    def test_query_requires_source(self):
+        with pytest.raises(ValueError):
+            Request(0.0, QUERY)
+
+    def test_update_requires_edge(self):
+        with pytest.raises(ValueError):
+            Request(0.0, UPDATE)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Request(0.0, "compact", source=1)
+
+    def test_valid_requests(self):
+        q = Request(1.0, QUERY, source=3)
+        u = Request(2.0, UPDATE, update=EdgeUpdate(0, 1))
+        assert q.source == 3
+        assert u.update.u == 0
+
+
+class TestGenerateWorkload:
+    def test_rates_roughly_match(self, graph):
+        w = generate_workload(graph, 40.0, 20.0, 100.0, rng=0)
+        lq, lu = w.empirical_rates()
+        assert lq == pytest.approx(40.0, rel=0.15)
+        assert lu == pytest.approx(20.0, rel=0.2)
+
+    def test_sorted_by_arrival(self, graph):
+        w = generate_workload(graph, 10.0, 10.0, 20.0, rng=1)
+        arrivals = [r.arrival for r in w]
+        assert arrivals == sorted(arrivals)
+
+    def test_sources_and_endpoints_valid(self, graph):
+        nodes = set(graph.nodes())
+        w = generate_workload(graph, 20.0, 20.0, 10.0, rng=2)
+        for r in w:
+            if r.kind == QUERY:
+                assert r.source in nodes
+            else:
+                assert r.update.u in nodes and r.update.v in nodes
+                assert r.update.u != r.update.v
+
+    def test_pure_query_stream(self, graph):
+        w = generate_workload(graph, 10.0, 0.0, 10.0, rng=3)
+        assert w.num_updates == 0
+        assert w.num_queries > 0
+
+    def test_pure_update_stream(self, graph):
+        w = generate_workload(graph, 0.0, 10.0, 10.0, rng=4)
+        assert w.num_queries == 0
+        assert w.num_updates > 0
+
+    def test_negative_rate_rejected(self, graph):
+        with pytest.raises(ValueError):
+            generate_workload(graph, -1.0, 1.0, 10.0)
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(ValueError):
+            generate_workload(DynamicGraph(num_nodes=1), 1.0, 1.0, 10.0)
+
+    def test_explicit_times_override(self, graph):
+        w = generate_workload(
+            graph,
+            1.0,
+            1.0,
+            10.0,
+            rng=5,
+            query_times=np.array([1.0, 2.0]),
+            update_times=np.array([1.5]),
+        )
+        assert w.num_queries == 2
+        assert w.num_updates == 1
+
+    def test_deterministic_given_seed(self, graph):
+        a = generate_workload(graph, 5.0, 5.0, 20.0, rng=42)
+        b = generate_workload(graph, 5.0, 5.0, 20.0, rng=42)
+        assert [(r.arrival, r.kind) for r in a] == [
+            (r.arrival, r.kind) for r in b
+        ]
+
+    def test_workload_sorts_unsorted_input(self):
+        requests = [
+            Request(2.0, QUERY, source=0),
+            Request(1.0, QUERY, source=1),
+        ]
+        w = Workload(requests, 3.0, 1.0, 0.0)
+        assert [r.arrival for r in w] == [1.0, 2.0]
+
+
+class TestDynamicPatterns:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            "query-inclined",
+            "query-declined",
+            "update-inclined",
+            "update-declined",
+            "balanced",
+        ],
+    )
+    def test_segments_cover_window(self, pattern):
+        segments = dynamic_pattern_segments(pattern, 100.0, rng=0)
+        assert sum(s.duration for s in segments) == pytest.approx(100.0)
+        assert all(s.lambda_q > 0 and s.lambda_u > 0 for s in segments)
+
+    def test_query_inclined_ramps_up(self):
+        segments = dynamic_pattern_segments("query-inclined", 200.0, rng=1)
+        assert segments[0].lambda_q == pytest.approx(10.0)
+        assert segments[-1].lambda_q == pytest.approx(30.0)
+        assert all(s.lambda_u == 5.0 for s in segments)
+
+    def test_update_declined_ramps_down(self):
+        segments = dynamic_pattern_segments("update-declined", 200.0, rng=2)
+        assert segments[0].lambda_u == pytest.approx(30.0)
+        assert segments[-1].lambda_u == pytest.approx(10.0)
+
+    def test_unknown_pattern(self):
+        with pytest.raises(ValueError):
+            dynamic_pattern_segments("chaotic", 10.0)
+
+    def test_segmented_workload(self, graph):
+        segments = [
+            WorkloadSegment(10.0, 20.0, 1.0),
+            WorkloadSegment(10.0, 1.0, 20.0),
+        ]
+        w = generate_segmented_workload(graph, segments, rng=3)
+        assert w.t_end == pytest.approx(20.0)
+        first_half = [r for r in w if r.arrival < 10.0]
+        second_half = [r for r in w if r.arrival >= 10.0]
+        q1 = sum(1 for r in first_half if r.kind == QUERY)
+        q2 = sum(1 for r in second_half if r.kind == QUERY)
+        assert q1 > q2  # rates flipped between segments
+
+    def test_segmented_workload_empty(self, graph):
+        with pytest.raises(ValueError):
+            generate_segmented_workload(graph, [])

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "dblp"
+        assert args.algorithm == "Agenda"
+        assert not args.quota
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "PageRank9000"])
+
+    def test_configure_requires_rates(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["configure"])
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("webs", "dblp", "pokec", "lj", "orkut", "twitter"):
+            assert name in out
+
+    def test_calibrate(self, capsys):
+        code = main(
+            ["calibrate", "--dataset", "webs", "--algorithm", "FORA",
+             "--queries", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Forward Push" in out
+        assert "Graph Update" in out
+
+    def test_configure(self, capsys):
+        code = main(
+            ["configure", "--dataset", "webs", "--algorithm", "FORA",
+             "--lambda-q", "10", "--lambda-u", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regime:" in out
+        assert "r_max" in out
+
+    def test_run_baseline_only(self, capsys):
+        code = main(
+            ["run", "--dataset", "webs", "--algorithm", "FORA",
+             "--lambda-q", "20", "--lambda-u", "10", "--window", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "FORA (default)" in out
+        assert "mean R (ms)" in out
+
+    def test_run_with_quota_comparison(self, capsys):
+        code = main(
+            ["run", "--dataset", "webs", "--algorithm", "FORA", "--quota",
+             "--lambda-q", "20", "--lambda-u", "10", "--window", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Quota-FORA" in out
+        assert "response-time reduction" in out
+
+    def test_unknown_dataset_exits_cleanly(self, capsys):
+        code = main(["run", "--dataset", "friendster"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_trace_exits_cleanly(self, capsys):
+        code = main(
+            ["run", "--dataset", "webs", "--trace", "/no/such/file.csv"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_save_and_replay_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        assert main(
+            ["run", "--dataset", "webs", "--algorithm", "FORA",
+             "--lambda-q", "20", "--lambda-u", "10", "--window", "1",
+             "--save-trace", str(trace)]
+        ) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(
+            ["run", "--dataset", "webs", "--algorithm", "FORA",
+             "--trace", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "queries" in out

@@ -1,0 +1,20 @@
+"""Execute the doctest examples embedded in module/class docstrings,
+so the documentation cannot silently rot."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.graph.digraph
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.graph.digraph, repro],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest(s) failed"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,112 @@
+"""End-to-end fuzzing: random configurations must never crash and must
+keep the cross-subsystem invariants.
+
+Hypothesis drives random graph shapes, algorithm choices, rates, Seed
+budgets and seeds through the full QuotaSystem pipeline; every run
+checks the structural invariants (request conservation, FCFS start
+order, graph consistency, non-negative estimates) rather than timing.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import QuotaSystem
+from repro.graph import barabasi_albert_graph, erdos_renyi_graph
+from repro.ppr import ALGORITHMS, PPRParams
+from repro.queueing import generate_workload
+from repro.queueing.workload import QUERY, UPDATE
+
+FAST_ALGORITHMS = ["FORA", "FORA+", "SpeedPPR", "Agenda", "ResAcc"]
+
+
+def build_graph(kind: str, n: int, seed: int):
+    if kind == "ba":
+        return barabasi_albert_graph(max(n, 6), attach=2, seed=seed)
+    return erdos_renyi_graph(max(n, 6), m=3 * max(n, 6), seed=seed)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    kind=st.sampled_from(["ba", "er"]),
+    n=st.integers(8, 60),
+    algorithm=st.sampled_from(FAST_ALGORITHMS),
+    lambda_q=st.floats(1.0, 50.0),
+    ratio=st.floats(0.1, 8.0),
+    epsilon_r=st.sampled_from([0.0, 0.3, 2.0]),
+    seed=st.integers(0, 1000),
+)
+def test_pipeline_never_crashes_and_conserves(
+    kind, n, algorithm, lambda_q, ratio, epsilon_r, seed
+):
+    graph = build_graph(kind, n, seed % 7)
+    params = PPRParams(walk_cap=200)
+    alg = ALGORITHMS[algorithm](graph.copy(), params)
+    alg.seed(seed)
+    workload = generate_workload(
+        graph, lambda_q, lambda_q * ratio, 0.5, rng=seed
+    )
+    system = QuotaSystem(alg, epsilon_r=epsilon_r)
+
+    estimates = []
+    result = system.process(
+        workload,
+        query_callback=lambda req, est, pending: estimates.append(est),
+    )
+
+    # conservation: every request completes exactly once
+    assert len(result) == len(workload)
+    assert len(result.of_kind(QUERY)) == workload.num_queries
+    assert len(result.of_kind(UPDATE)) == workload.num_updates
+
+    # the server never runs backwards
+    starts = [c.start for c in result.completed]
+    assert starts == sorted(starts)
+    for c in result.completed:
+        assert c.finish >= c.start >= 0.0
+        assert c.start >= c.arrival - 1e-12
+
+    # graph ends in the deterministic post-update state
+    shadow = graph.copy()
+    for request in workload:
+        if request.kind == UPDATE:
+            request.update.apply(shadow)
+    assert set(alg.graph.edges()) == set(shadow.edges())
+
+    # estimates stay sane regardless of configuration
+    for est in estimates:
+        assert np.all(est.values >= 0.0)
+        assert est.values.sum() < 1.5
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(8, 40),
+    r_max_exp=st.floats(-6.0, -0.5),
+    r_max_b_exp=st.floats(-6.0, -0.5),
+    seed=st.integers(0, 100),
+)
+def test_agenda_any_hyperparameters_stay_consistent(
+    n, r_max_exp, r_max_b_exp, seed
+):
+    """Agenda must serve correctly at *any* beta Quota could pick."""
+    graph = barabasi_albert_graph(max(n, 6), attach=2, seed=1)
+    alg = ALGORITHMS["Agenda"](graph, PPRParams(walk_cap=150))
+    alg.seed(seed)
+    alg.set_hyperparameters(
+        r_max=10.0**r_max_exp, r_max_b=10.0**r_max_b_exp
+    )
+    workload = generate_workload(graph, 20.0, 20.0, 0.3, rng=seed)
+    result = QuotaSystem(alg).process(workload)
+    assert len(result) == len(workload)
+    estimate = alg.query(0)
+    assert np.all(estimate.values >= 0.0)
+    assert 0.3 < estimate.values.sum() < 1.5

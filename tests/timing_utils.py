@@ -1,0 +1,25 @@
+"""Helpers for timing-sensitive tests.
+
+Tests that compare *measured* execution times are vulnerable to
+garbage-collection pauses landing inside one of the compared runs
+(hypothesis-heavy test modules leave plenty of garbage behind).  The
+fixture below collects once, then disables the collector for the
+duration of the test.
+"""
+
+import gc
+
+import pytest
+
+
+@pytest.fixture
+def no_gc():
+    """Collect pending garbage, then switch GC off for this test."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
