@@ -16,6 +16,9 @@ Layout
     The paper's contribution: cost models, tau calibration, Augmented
     Lagrangian optimization, the Quota controller, Seed reordering,
     and the end-to-end QuotaSystem.
+``repro.obs``
+    Observability: counters, timers, per-operation service-time
+    histograms shared by the CSR layer, serving loop and benchmarks.
 ``repro.baselines``
     Grid / Random / Bayesian hyperparameter search competitors.
 ``repro.evaluation``
@@ -46,6 +49,7 @@ __all__ = [
     "core",
     "evaluation",
     "graph",
+    "obs",
     "ppr",
     "queueing",
 ]

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.core.cost_models import CostModel, cost_model_for
 from repro.graph.updates import EdgeUpdate
+from repro.obs import get_metrics
 from repro.ppr.base import DynamicPPRAlgorithm, clip_unit
 
 #: default multiplicative spread of probe points around the current beta
@@ -91,6 +92,7 @@ def calibrate_taus(
     num_fm: dict[str, float] = {}
     den_ff: dict[str, float] = {}
 
+    metrics = get_metrics()
     for scale in probe_scales:
         probe = _scratch_copy(algorithm)
         beta = {
@@ -100,12 +102,15 @@ def calibrate_taus(
         probe.timers.reset()
         nodes = probe.view.nodes
         num_updates = 0
-        for _ in range(num_queries):
-            for _ in range(updates_per_query):
-                u, v = rng.choice(nodes, size=2, replace=False)
-                probe.apply_update(EdgeUpdate(int(u), int(v)))
-                num_updates += 1
-            probe.query(int(rng.choice(nodes)))
+        # timed per probe point so reports can attribute calibration
+        # overhead separately from serving (the paper's Table IV split)
+        with metrics.time("calibration.probe"):
+            for _ in range(num_queries):
+                for _ in range(updates_per_query):
+                    u, v = rng.choice(nodes, size=2, replace=False)
+                    probe.apply_update(EdgeUpdate(int(u), int(v)))
+                    num_updates += 1
+                probe.query(int(rng.choice(nodes)))
 
         samples: list[tuple[str, float, float]] = []
         for name, factor in model.query_factors(
@@ -123,6 +128,7 @@ def calibrate_taus(
             num_fm[name] = num_fm.get(name, 0.0) + factor * measured
             den_ff[name] = den_ff.get(name, 0.0) + factor * factor
 
+    metrics.counter("calibration.runs").inc()
     return {
         name: (num_fm[name] / den_ff[name] if den_ff[name] > 0 else 0.0)
         for name in num_fm

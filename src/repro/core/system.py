@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.quota import QuotaController, QuotaDecision
 from repro.core.seed import SeedQueue
+from repro.obs import MetricsRegistry, get_metrics
 from repro.ppr.base import DynamicPPRAlgorithm, PPRVector
 from repro.queueing.simulator import CompletedRequest, SimulationResult
 from repro.queueing.workload import QUERY, UPDATE, Request, Workload
@@ -83,6 +84,13 @@ class QuotaSystem:
         Charge the cost of *applying* a new beta — an index rebuild for
         index-based algorithms — to the server clock.  Default True:
         the index is shared state the server must rebuild in-line.
+    metrics:
+        Observability registry receiving the per-operation service-time
+        histograms (``service.query`` / ``service.update`` /
+        ``service.flush`` / ``service.reconfigure``) that let reports
+        attribute time to sub-processes as the paper's Table I does.
+        Defaults to the process-wide registry from
+        :func:`repro.obs.get_metrics`.
     """
 
     def __init__(
@@ -96,6 +104,7 @@ class QuotaSystem:
         charge_apply: bool = True,
         rate_change_threshold: float = 0.15,
         beta_change_threshold: float = 0.10,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if reoptimize_every is not None and reoptimize_every <= 0:
             raise ValueError("reoptimize_every must be positive")
@@ -112,6 +121,7 @@ class QuotaSystem:
         # barely moved
         self.rate_change_threshold = rate_change_threshold
         self.beta_change_threshold = beta_change_threshold
+        self.metrics = metrics if metrics is not None else get_metrics()
         self.decisions: list[QuotaDecision] = []
         self._last_reoptimize = 0.0
         self._configured_rates: tuple[float, float] | None = None
@@ -167,6 +177,7 @@ class QuotaSystem:
                 elapsed = self._timed(
                     lambda: self.algorithm.apply_update(request.update)
                 )[1]
+                self.metrics.histogram("service.update").observe(elapsed)
                 finish = start + elapsed
                 completed.append(
                     CompletedRequest(request, start, finish, elapsed)
@@ -182,6 +193,7 @@ class QuotaSystem:
                 flushed, flush_elapsed = self._timed(
                     lambda: seed_queue.flush(self.algorithm)
                 )
+                self.metrics.histogram("service.flush").observe(flush_elapsed)
                 flush_finish = start + flush_elapsed
                 share = flush_elapsed / max(len(flushed), 1)
                 for item in flushed:
@@ -199,6 +211,7 @@ class QuotaSystem:
             estimate, query_elapsed = self._timed(
                 lambda: self.algorithm.query(request.source)
             )
+            self.metrics.histogram("service.query").observe(query_elapsed)
             finish = start + query_elapsed
             completed.append(
                 CompletedRequest(request, start, finish, query_elapsed)
@@ -216,6 +229,7 @@ class QuotaSystem:
             flushed, elapsed = self._timed(
                 lambda: seed_queue.flush(self.algorithm)
             )
+            self.metrics.histogram("service.flush").observe(elapsed)
             finish = drain_from + elapsed
             for item in flushed:
                 completed.append(
@@ -244,6 +258,7 @@ class QuotaSystem:
             item, elapsed = self._timed(
                 lambda: seed_queue.flush_one(self.algorithm)
             )
+            self.metrics.histogram("service.update").observe(elapsed)
             # an update cannot start before it arrived
             start = max(server_free, item.arrival)
             finish = start + elapsed
@@ -284,6 +299,7 @@ class QuotaSystem:
             _, apply_elapsed = self._timed(
                 lambda: self.algorithm.set_hyperparameters(**decision.beta)
             )
+            self.metrics.histogram("service.reconfigure").observe(apply_elapsed)
         charged = 0.0
         if self.charge_solve:
             charged += decision.configure_seconds

@@ -24,6 +24,19 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
+#: log entries kept before the oldest half is discarded; derived views
+#: older than the retained window fall back to a full rebuild
+MAX_UPDATE_LOG = 65_536
+
+# Update-log opcodes.  Each logged entry corresponds to exactly one
+# version increment, so a consumer at version v catches up by replaying
+# the entries for versions v+1 .. current.
+ADD_EDGE = "+e"
+REMOVE_EDGE = "-e"
+ADD_NODE = "+n"
+REMOVE_NODE = "-n"
+RESET = "!"  # structure replaced wholesale (restore); forces rebuild
+
 
 class DynamicGraph:
     """Directed graph supporting dynamic edge inserts and deletes.
@@ -47,13 +60,29 @@ class DynamicGraph:
     [1]
     """
 
-    __slots__ = ("_out", "_in", "_edges", "_version", "__weakref__")
+    __slots__ = (
+        "_out",
+        "_in",
+        "_edges",
+        "_version",
+        "_log",
+        "_log_base",
+        "_csr_cache",
+        "__weakref__",
+    )
 
     def __init__(self, num_nodes: int = 0) -> None:
         self._out: dict[int, list[int]] = {v: [] for v in range(num_nodes)}
         self._in: dict[int, list[int]] = {v: [] for v in range(num_nodes)}
         self._edges: set[tuple[int, int]] = set()
         self._version = 0
+        # structural update log: entry k records the mutation that took
+        # the graph from version _log_base + k to _log_base + k + 1
+        self._log: list[tuple[str, int, int]] = []
+        self._log_base = 0
+        # per-graph cache slot for the incremental CSR store (owned by
+        # repro.ppr.csr; opaque here so the graph layer stays view-free)
+        self._csr_cache: object | None = None
 
     @property
     def version(self) -> int:
@@ -61,9 +90,33 @@ class DynamicGraph:
 
         Incremented by every mutation; used by cached derived views
         (e.g. the CSR arrays in :mod:`repro.ppr.csr`) to detect
-        staleness without holding references into the graph.
+        staleness without holding references into the graph.  Never
+        decreases — :meth:`restore` moves it strictly forward, so a
+        (graph, version) pair always denotes one unique structure.
         """
         return self._version
+
+    def _record(self, op: str, u: int, v: int) -> None:
+        """Append one update-log entry and bump the version counter."""
+        self._log.append((op, u, v))
+        self._version += 1
+        if len(self._log) > MAX_UPDATE_LOG:
+            drop = len(self._log) // 2
+            del self._log[:drop]
+            self._log_base += drop
+
+    def updates_since(self, version: int) -> list[tuple[str, int, int]] | None:
+        """Log entries taking the graph from ``version`` to the present.
+
+        Returns None when ``version`` predates the retained log window
+        (or lies in the future), in which case an incremental consumer
+        must fall back to a full rebuild.
+        """
+        if version == self._version:
+            return []
+        if version < self._log_base or version > self._version:
+            return None
+        return self._log[version - self._log_base:]
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -92,7 +145,31 @@ class DynamicGraph:
         clone._in = {v: list(nbrs) for v, nbrs in self._in.items()}
         clone._edges = set(self._edges)
         clone._version = self._version
+        # the clone starts with a fresh log window and no cached views:
+        # cached CSR state is per-graph-object and never shared
+        clone._log_base = clone._version
         return clone
+
+    def snapshot(self) -> "DynamicGraph":
+        """Capture the current structure for a later :meth:`restore`."""
+        return self.copy()
+
+    def restore(self, snap: "DynamicGraph") -> None:
+        """Replace this graph's structure with ``snap``'s.
+
+        The version counter moves strictly *forward* past both graphs'
+        counters instead of rewinding to the snapshot's value, so a
+        derived view cached at some version can never be wrongly
+        revalidated after the structure is rolled back (the classic
+        stale-window bug of wrap-around version schemes).
+        """
+        self._out = {v: list(nbrs) for v, nbrs in snap._out.items()}
+        self._in = {v: list(nbrs) for v, nbrs in snap._in.items()}
+        self._edges = set(snap._edges)
+        self._version = max(self._version, snap._version) + 1
+        self._log = [(RESET, 0, 0)]
+        self._log_base = self._version - 1
+        self._csr_cache = None
 
     # ------------------------------------------------------------------
     # Node operations
@@ -103,7 +180,7 @@ class DynamicGraph:
             return False
         self._out[v] = []
         self._in[v] = []
-        self._version += 1
+        self._record(ADD_NODE, v, v)
         return True
 
     def remove_node(self, v: int) -> None:
@@ -116,7 +193,7 @@ class DynamicGraph:
             self.remove_edge(u, v)
         del self._out[v]
         del self._in[v]
-        self._version += 1
+        self._record(REMOVE_NODE, v, v)
 
     def has_node(self, v: int) -> bool:
         return v in self._out
@@ -146,7 +223,7 @@ class DynamicGraph:
         self._edges.add((u, v))
         self._out[u].append(v)
         self._in[v].append(u)
-        self._version += 1
+        self._record(ADD_EDGE, u, v)
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -156,7 +233,7 @@ class DynamicGraph:
         self._edges.remove((u, v))
         self._out[u].remove(v)
         self._in[v].remove(u)
-        self._version += 1
+        self._record(REMOVE_EDGE, u, v)
 
     def toggle_edge(self, u: int, v: int) -> bool:
         """Apply the paper's edge-arrival semantics.

@@ -1,0 +1,24 @@
+"""Observability: counters, timers and service-time histograms.
+
+See :mod:`repro.obs.metrics`.  The CSR maintenance layer records
+``csr_*`` counters here, :class:`~repro.core.system.QuotaSystem`
+records per-operation ``service.*`` histograms, and the calibration
+harness records ``calibration.*`` timings — the attribution substrate
+behind the paper's Table I style cost breakdowns.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    reset_metrics,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "reset_metrics",
+]

@@ -125,7 +125,10 @@ def forward_push(
                 in_queue[t] = True
             continue
         share = one_minus_alpha * r_t / deg
-        neighbors = indices[indptr[t]:indptr[t + 1]]
+        # row extent is indptr[t] : indptr[t] + deg — patched views may
+        # carry slack, so indptr[t + 1] is not the row end
+        start = indptr[t]
+        neighbors = indices[start:start + deg]
         # np.add.at handles repeated neighbors (parallel edges are not
         # allowed, but a node can appear from different frontier pops).
         np.add.at(residue, neighbors, share)

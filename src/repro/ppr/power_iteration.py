@@ -29,7 +29,8 @@ def transition_matrix(view: CSRView) -> sparse.csr_matrix:
     """
     n = view.n
     rows = np.repeat(np.arange(n, dtype=np.int64), view.out_deg)
-    cols = view.indices
+    # delta-patched views carry slack slots; gather the packed columns
+    _, cols = view.packed_out()
     degs = np.maximum(view.out_deg, 1)
     data = 1.0 / degs[rows]
     matrix = sparse.csr_matrix((data, (rows, cols)), shape=(n, n))

@@ -71,6 +71,7 @@ def reverse_push(
 
     in_indptr = view.in_indptr
     in_indices = view.in_indices
+    in_deg = view.in_deg
     out_deg = view.out_deg
     one_minus_alpha = 1.0 - alpha
 
@@ -97,7 +98,10 @@ def reverse_push(
             if residue[v] > r_max_b and not in_queue[v]:
                 queue.append(v)
                 in_queue[v] = True
-        in_neighbors = in_indices[in_indptr[v]:in_indptr[v + 1]]
+        # row extent is in_indptr[v] : in_indptr[v] + in_deg[v] —
+        # patched views may carry slack past the row end
+        row_start = in_indptr[v]
+        in_neighbors = in_indices[row_start:row_start + in_deg[v]]
         if in_neighbors.size == 0:
             continue
         degs = out_deg[in_neighbors]

@@ -82,7 +82,10 @@ def signed_forward_push(
                 in_queue[t] = True
             continue
         share = one_minus_alpha * r_t / deg
-        neighbors = indices[indptr[t]:indptr[t + 1]]
+        # row extent is indptr[t] : indptr[t] + deg (patched views may
+        # carry slack past the row end)
+        start = indptr[t]
+        neighbors = indices[start:start + deg]
         np.add.at(residue, neighbors, share)
         for v in neighbors:
             if not in_queue[v] and abs(residue[v]) > r_max * max(

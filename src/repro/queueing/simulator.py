@@ -74,6 +74,21 @@ class SimulationResult:
         return float(times.mean()) if times.size else 0.0
 
     def percentile_query_response_time(self, q: float) -> float:
+        """Response-time percentile of the queries.
+
+        ``q`` is on the 0-100 scale (``99`` is the p99, matching
+        ``np.percentile``).  Values in the open interval (0, 1) are
+        rejected: they almost always mean the caller passed a fraction
+        (``0.99``) where a percentage was intended, which would silently
+        return roughly the *minimum* instead of the tail.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if 0.0 < q < 1.0:
+            raise ValueError(
+                f"q={q} looks like a fraction; percentiles are on the "
+                f"0-100 scale (use {q * 100:g} for the p{q * 100:g})"
+            )
         times = self.query_response_times()
         return float(np.percentile(times, q)) if times.size else 0.0
 
@@ -84,18 +99,38 @@ class SimulationResult:
     def total_busy_time(self) -> float:
         return float(sum(c.service for c in self.completed))
 
+    @property
+    def horizon(self) -> float:
+        """Virtual-time span the load metrics are normalized by.
+
+        The workload window ``t_end`` extended to the last completion:
+        the server may legitimately stay busy past the arrival window,
+        and dividing busy time by a span shorter than the work it
+        contains would report rho > 1 for an underloaded system.  Both
+        :meth:`utilization` and :meth:`empirical_load` use this same
+        denominator.
+        """
+        if not self.completed:
+            return self.t_end
+        return max(self.t_end, max(c.finish for c in self.completed))
+
     def utilization(self) -> float:
         """Fraction of virtual time the server was busy."""
         if not self.completed:
             return 0.0
-        horizon = max(self.t_end, max(c.finish for c in self.completed))
+        horizon = self.horizon
         return self.total_busy_time() / horizon if horizon > 0 else 0.0
 
     def empirical_load(self) -> float:
-        """lambda_q t_q + lambda_u t_u estimated from the replay."""
-        if self.t_end <= 0:
+        """lambda_q t_q + lambda_u t_u estimated from the replay.
+
+        Shares :attr:`horizon` with :meth:`utilization` so the two
+        never disagree about the denominator.
+        """
+        horizon = self.horizon
+        if horizon <= 0:
             return 0.0
-        return self.total_busy_time() / self.t_end
+        return self.total_busy_time() / horizon
 
 
 ServiceFn = Callable[[Request], float]
@@ -140,9 +175,12 @@ class FCFSQueueSimulator:
             horizon = workload.t_end if t_end is None else t_end
         else:
             requests = sorted(workload, key=lambda r: r.arrival)
-            horizon = t_end if t_end is not None else (
-                requests[-1].arrival if requests else 0.0
-            )
+            # resolved below once completions are known: a raw iterable
+            # has no generation window, and using the last *arrival*
+            # alone would under-span the replay (service extends past
+            # it), inflating the load metrics above 1 for an
+            # underloaded system
+            horizon = t_end
         import heapq
 
         completed: list[CompletedRequest] = []
@@ -160,4 +198,8 @@ class FCFSQueueSimulator:
             finish = start + service
             completed.append(CompletedRequest(request, start, finish, service))
             heapq.heappush(free_at, finish)
+        if horizon is None:
+            last_arrival = requests[-1].arrival if requests else 0.0
+            last_finish = max((c.finish for c in completed), default=0.0)
+            horizon = max(last_arrival, last_finish)
         return SimulationResult(completed, horizon)

@@ -1,11 +1,32 @@
-"""Tests for the cached CSR snapshot."""
+"""Tests for the incrementally maintained CSR view."""
+
+import random
 
 import numpy as np
 import pytest
 
 from repro.graph import DynamicGraph, barabasi_albert_graph
+from repro.graph.updates import random_update_stream
 from repro.ppr import csr_view
 from repro.ppr.csr import CSRView
+from repro.obs import get_metrics
+
+
+def assert_views_equivalent(patched: CSRView, fresh: CSRView) -> None:
+    """Element-for-element equivalence up to within-row neighbor order
+    (neighbor order is irrelevant to every consumer)."""
+    assert patched.n == fresh.n
+    assert patched.m == fresh.m
+    assert np.array_equal(patched.nodes, fresh.nodes)
+    assert np.array_equal(patched.out_deg, fresh.out_deg)
+    assert np.array_equal(patched.in_deg, fresh.in_deg)
+    for i in range(fresh.n):
+        assert sorted(patched.out_neighbors_of(i).tolist()) == sorted(
+            fresh.out_neighbors_of(i).tolist()
+        ), f"out-row {i} diverged"
+        assert sorted(patched.in_neighbors_of(i).tolist()) == sorted(
+            fresh.in_neighbors_of(i).tolist()
+        ), f"in-row {i} diverged"
 
 
 class TestCSRStructure:
@@ -83,6 +104,136 @@ class TestCaching:
         g1 = DynamicGraph.from_edges([(0, 1)])
         g2 = DynamicGraph.from_edges([(0, 1)])
         assert csr_view(g1) is not csr_view(g2)
+
+
+class TestIncrementalMaintenance:
+    def test_insert_patches_in_place(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        csr_view(g)
+        applies_before = get_metrics().counter("csr_delta_applies").value
+        g.add_edge(2, 0)
+        view = csr_view(g)
+        assert get_metrics().counter("csr_delta_applies").value > applies_before
+        assert_views_equivalent(view, CSRView(g))
+
+    def test_delete_patches_in_place(self):
+        g = DynamicGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        csr_view(g)
+        g.remove_edge(0, 2)
+        assert_views_equivalent(csr_view(g), CSRView(g))
+
+    def test_many_toggles_stay_equivalent(self):
+        g = barabasi_albert_graph(60, attach=2, seed=3)
+        csr_view(g)
+        for update in random_update_stream(g, 300, random.Random(0)):
+            update.apply(g)
+            assert_views_equivalent(csr_view(g), CSRView(g))
+
+    def test_new_contiguous_node_keeps_identity_path(self):
+        g = DynamicGraph(num_nodes=4)
+        g.add_edge(0, 1)
+        view = csr_view(g)
+        assert view.identity_ids
+        g.add_edge(2, 4)  # creates node 4 == next dense index
+        view = csr_view(g)
+        assert view.identity_ids
+        assert view.to_index(4) == 4
+        assert_views_equivalent(view, CSRView(g))
+
+    def test_new_non_contiguous_node_breaks_identity(self):
+        g = DynamicGraph(num_nodes=3)
+        g.add_edge(0, 1)
+        csr_view(g)
+        g.add_edge(1, 99)
+        view = csr_view(g)
+        assert not view.identity_ids
+        assert view.to_node(view.to_index(99)) == 99
+        assert_views_equivalent(view, CSRView(g))
+
+    def test_node_removal_falls_back_to_rebuild(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        csr_view(g)
+        rebuilds_before = get_metrics().counter("csr_rebuilds").value
+        g.remove_node(1)
+        view = csr_view(g)
+        assert get_metrics().counter("csr_rebuilds").value > rebuilds_before
+        assert view.n == 2
+        assert_views_equivalent(view, CSRView(g))
+
+    def test_restore_invalidates_cache(self):
+        g = DynamicGraph.from_edges([(0, 1), (1, 2)])
+        snap = g.snapshot()
+        stale = csr_view(g)
+        g.add_edge(2, 0)
+        csr_view(g)
+        g.restore(snap)
+        view = csr_view(g)
+        assert view is not stale
+        assert view.m == 2
+        assert_views_equivalent(view, CSRView(g))
+
+    def test_facade_identity_changes_per_version(self):
+        """Downstream caches (walk indexes, transition matrices) use
+        view object identity as their staleness probe."""
+        g = DynamicGraph.from_edges([(0, 1)])
+        a = csr_view(g)
+        g.add_edge(1, 0)
+        b = csr_view(g)
+        g.remove_edge(1, 0)
+        c = csr_view(g)
+        assert a is not b and b is not c
+
+    def test_cache_hits_counted(self):
+        g = DynamicGraph.from_edges([(0, 1)])
+        csr_view(g)
+        hits_before = get_metrics().counter("csr_cache_hits").value
+        assert csr_view(g) is csr_view(g)
+        assert get_metrics().counter("csr_cache_hits").value >= hits_before + 2
+
+    def test_compaction_threshold_knob(self, monkeypatch):
+        from repro.ppr import csr as csr_module
+
+        monkeypatch.setattr(csr_module, "REBUILD_SLACK_RATIO", 0.0)
+        monkeypatch.setattr(csr_module, "SLACK_FLOOR", 0)
+        g = barabasi_albert_graph(30, attach=2, seed=1)
+        csr_view(g)
+        compactions_before = get_metrics().counter("csr_compactions").value
+        for update in random_update_stream(g, 50, random.Random(2)):
+            update.apply(g)
+            csr_view(g)
+        assert (
+            get_metrics().counter("csr_compactions").value > compactions_before
+        )
+        assert_views_equivalent(csr_view(g), CSRView(g))
+
+
+class TestPackedAccessors:
+    def test_fresh_view_is_packed(self):
+        g = barabasi_albert_graph(40, attach=2, seed=2)
+        view = csr_view(g)
+        assert view.is_packed
+        indptr, indices = view.packed_out()
+        assert indptr is view.indptr and indices is view.indices
+
+    def test_patched_view_packs_correctly(self):
+        g = barabasi_albert_graph(40, attach=2, seed=2)
+        csr_view(g)
+        for update in random_update_stream(g, 120, random.Random(4)):
+            update.apply(g)
+        view = csr_view(g)
+        fresh = CSRView(g)
+        for patched_pack, fresh_pack in (
+            (view.packed_out(), (fresh.indptr, fresh.indices)),
+            (view.packed_in(), (fresh.in_indptr, fresh.in_indices)),
+        ):
+            indptr, indices = patched_pack
+            f_indptr, f_indices = fresh_pack
+            assert np.array_equal(indptr, f_indptr)
+            assert indices.size == view.m
+            for i in range(view.n):
+                assert sorted(indices[indptr[i]:indptr[i + 1]].tolist()) == (
+                    sorted(f_indices[f_indptr[i]:f_indptr[i + 1]].tolist())
+                )
 
 
 def test_large_graph_consistency():

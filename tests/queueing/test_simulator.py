@@ -105,6 +105,65 @@ class TestResultMetrics:
         result = self._result()
         assert 0.0 < result.utilization() <= 1.0
 
+    def test_percentile_rejects_fractional_quantile(self):
+        """Regression: 0.99 (a fraction) used to be passed straight to
+        np.percentile, silently returning ~the minimum instead of p99."""
+        result = self._result()
+        with pytest.raises(ValueError, match="fraction"):
+            result.percentile_query_response_time(0.99)
+
+    def test_percentile_rejects_out_of_range(self):
+        result = self._result()
+        with pytest.raises(ValueError):
+            result.percentile_query_response_time(101.0)
+        with pytest.raises(ValueError):
+            result.percentile_query_response_time(-5.0)
+
+    def test_percentile_accepts_bounds(self):
+        result = self._result()
+        assert result.percentile_query_response_time(0) >= 0.0
+        assert result.percentile_query_response_time(100) >= 0.0
+
+
+class TestHorizonAccounting:
+    def test_raw_iterable_horizon_covers_service(self):
+        """Regression: with no t_end the horizon used to stop at the
+        last *arrival*, so an underloaded system could report rho > 1
+        (e.g. one request arriving at t=0 with 1s of service gave
+        busy/horizon = 1/0)."""
+        sim = FCFSQueueSimulator(lambda r: 1.0)
+        result = sim.run(make_requests([0.0, 0.5]))
+        # arrivals end at 0.5 but service runs until t=2
+        assert result.t_end == pytest.approx(2.0)
+        assert result.utilization() <= 1.0
+        assert result.empirical_load() <= 1.0
+
+    def test_load_and_utilization_share_denominator(self):
+        sim = FCFSQueueSimulator(lambda r: 3.0)
+        result = sim.run(make_requests([0.0, 1.0, 2.0]))
+        assert result.empirical_load() == pytest.approx(result.utilization())
+
+    def test_busy_server_full_utilization(self):
+        """Back-to-back work: utilization exactly 1 once the horizon
+        spans arrivals and service."""
+        sim = FCFSQueueSimulator(lambda r: 2.0)
+        result = sim.run(make_requests([0.0, 0.0, 0.0]))
+        assert result.utilization() == pytest.approx(1.0)
+
+    def test_explicit_t_end_still_respected(self):
+        sim = FCFSQueueSimulator(lambda r: 1.0)
+        result = sim.run(make_requests([0.0]), t_end=10.0)
+        assert result.t_end == 10.0
+        assert result.empirical_load() == pytest.approx(0.1)
+
+    def test_overrun_extends_horizon_for_both_metrics(self):
+        """Service past the window extends the shared denominator."""
+        sim = FCFSQueueSimulator(lambda r: 8.0)
+        result = sim.run(make_requests([0.0]), t_end=2.0)
+        assert result.horizon == pytest.approx(8.0)
+        assert result.utilization() == pytest.approx(1.0)
+        assert result.empirical_load() == pytest.approx(1.0)
+
 
 # ----------------------------------------------------------------------
 # Property: Lindley recursion invariants hold for any workload.

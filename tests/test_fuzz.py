@@ -7,15 +7,20 @@ checks the structural invariants (request conservation, FCFS start
 order, graph consistency, non-negative estimates) rather than timing.
 """
 
+import random
+
 import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import QuotaSystem
 from repro.graph import barabasi_albert_graph, erdos_renyi_graph
-from repro.ppr import ALGORITHMS, PPRParams
+from repro.graph.updates import random_update_stream
+from repro.ppr import ALGORITHMS, PPRParams, csr_view
+from repro.ppr.csr import CSRView
 from repro.queueing import generate_workload
 from repro.queueing.workload import QUERY, UPDATE
+from tests.ppr.test_csr import assert_views_equivalent
 
 FAST_ALGORITHMS = ["FORA", "FORA+", "SpeedPPR", "Agenda", "ResAcc"]
 
@@ -110,3 +115,78 @@ def test_agenda_any_hyperparameters_stay_consistent(
     estimate = alg.query(0)
     assert np.all(estimate.values >= 0.0)
     assert 0.3 < estimate.values.sum() < 1.5
+
+
+# ----------------------------------------------------------------------
+# Incremental CSR equivalence: a patched view must be element-for-element
+# identical (up to within-row neighbor order) to a freshly built one.
+# ----------------------------------------------------------------------
+def test_incremental_csr_equivalence_long_stream():
+    """>= 1000 randomized insert/delete updates with interleaved
+    catch-ups at varying strides; zero divergence allowed."""
+    rng = random.Random(42)
+    g = barabasi_albert_graph(150, attach=2, seed=6)
+    csr_view(g)  # warm the incremental store
+    applied = 0
+    for stride in (1, 3, 7, 20):
+        for i, update in enumerate(random_update_stream(g, 300, rng)):
+            update.apply(g)
+            applied += 1
+            if i % stride == 0:
+                assert_views_equivalent(csr_view(g), CSRView(g))
+        assert_views_equivalent(csr_view(g), CSRView(g))
+    assert applied >= 1000
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    n=st.integers(5, 40),
+    num_updates=st.integers(1, 120),
+    stride=st.integers(1, 10),
+    seed=st.integers(0, 10_000),
+)
+def test_incremental_csr_equivalence_random_shapes(
+    n, num_updates, stride, seed
+):
+    rng = random.Random(seed)
+    g = barabasi_albert_graph(n, attach=2, seed=seed % 13)
+    csr_view(g)
+    for i, update in enumerate(random_update_stream(g, num_updates, rng)):
+        update.apply(g)
+        if i % stride == 0:
+            assert_views_equivalent(csr_view(g), CSRView(g))
+    assert_views_equivalent(csr_view(g), CSRView(g))
+
+
+def test_incremental_csr_equivalence_with_node_churn():
+    """Edge toggles interleaved with brand-new node ids and occasional
+    node removals (the rebuild fallback path)."""
+    rng = random.Random(7)
+    g = barabasi_albert_graph(40, attach=2, seed=2)
+    csr_view(g)
+    next_id = g.num_nodes
+    for step in range(400):
+        roll = rng.random()
+        if roll < 0.80:
+            u = rng.randrange(g.num_nodes)
+            v = rng.randrange(g.num_nodes)
+            g.toggle_edge(
+                sorted(g.nodes())[u % g.num_nodes],
+                sorted(g.nodes())[v % g.num_nodes],
+            )
+        elif roll < 0.95:
+            # attach a never-seen node via an edge, as in the paper's
+            # "insert of a new node u is linked with an update (u, v)"
+            anchor = rng.choice(sorted(g.nodes()))
+            g.add_edge(next_id, anchor)
+            next_id += 1
+        else:
+            victim = rng.choice(sorted(g.nodes()))
+            g.remove_node(victim)
+        if step % 5 == 0:
+            assert_views_equivalent(csr_view(g), CSRView(g))
+    assert_views_equivalent(csr_view(g), CSRView(g))
