@@ -45,6 +45,21 @@ def bench_scope() -> str:
     return scope
 
 
+def bench_seed() -> int:
+    """Base seed for every benchmark (override: REPRO_BENCH_SEED).
+
+    All benchmark randomness (graph build, workload, walks) derives
+    from this one value, so a run is reproduced by re-exporting it.
+    """
+    raw = os.environ.get("REPRO_BENCH_SEED", "0")
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_BENCH_SEED must be an integer, got {raw!r}"
+        ) from None
+
+
 def scoped(quick_value, full_value):
     """Pick per scope."""
     return full_value if bench_scope() == "full" else quick_value
@@ -95,10 +110,16 @@ def run_system(
     workload: Workload,
     lambda_q: float,
     lambda_u: float,
-    seed: int = 0,
+    seed: int | None = None,
     reoptimize_every: float | None = None,
 ) -> SimulationResult:
-    """Replay one workload through one configured system."""
+    """Replay one workload through one configured system.
+
+    ``seed`` defaults to :func:`bench_seed` so a whole benchmark run is
+    reproduced by setting REPRO_BENCH_SEED once.
+    """
+    if seed is None:
+        seed = bench_seed()
     algorithm = build_algorithm(
         system.algorithm, graph.copy(), spec.walk_cap, seed=seed
     )
@@ -124,11 +145,16 @@ def run_system(
 def dataset_workload(
     name: str,
     ratio: float,
-    seed: int = 0,
+    seed: int | None = None,
     lambda_q: float | None = None,
     window: float | None = None,
 ) -> tuple[DatasetSpec, DynamicGraph, Workload, float, float]:
-    """Materialize (spec, graph, workload, lambda_q, lambda_u) for a cell."""
+    """Materialize (spec, graph, workload, lambda_q, lambda_u) for a cell.
+
+    ``seed`` defaults to :func:`bench_seed` (REPRO_BENCH_SEED).
+    """
+    if seed is None:
+        seed = bench_seed()
     spec = get_dataset(name)
     graph = spec.build(seed=seed)
     lq = lambda_q if lambda_q is not None else spec.lambda_q

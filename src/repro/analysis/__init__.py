@@ -1,0 +1,38 @@
+"""repro.analysis — project-specific static analysis (``reprolint``).
+
+An AST-based lint engine plus a rule pack encoding this repository's
+domain invariants: seeded randomness (R1), no float equality on hot
+paths (R2), CSR-view lifetimes (R3), mutable defaults / shadowed
+builtins (R4), registered metric names (R5), and unit-suffixed
+queueing/cost identifiers (R6).
+
+Run it as ``python -m repro.analysis src/`` or via ``tools/reprolint``;
+see docs/DEVELOPMENT.md for rule rationale and suppression policy.
+"""
+
+from repro.analysis import rules as _rules  # noqa: F401  (registers the pack)
+from repro.analysis.engine import (
+    RULES,
+    Finding,
+    LintConfig,
+    LintModule,
+    Rule,
+    exit_code,
+    format_findings,
+    register,
+    run_paths,
+    run_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintModule",
+    "RULES",
+    "Rule",
+    "exit_code",
+    "format_findings",
+    "register",
+    "run_paths",
+    "run_source",
+]

@@ -1,0 +1,280 @@
+"""reprolint engine: rule registry, suppressions, runner, reporting.
+
+A small AST-based static-analysis framework for this repository's
+domain invariants (see :mod:`repro.analysis.rules` for the rule pack).
+It exists because the invariants that matter here — seeded randomness,
+unit consistency of the cost model, CSR-view lifetimes — are invisible
+to general-purpose linters.
+
+Architecture
+------------
+* :class:`Rule` subclasses declare an id (``R1``..), severity, and a
+  ``check(module)`` generator yielding :class:`Finding` objects.
+  Registration is by decorator into :data:`RULES`.
+* :class:`LintModule` wraps one parsed source file: path, AST, raw
+  lines, and the suppression table extracted from
+  ``# reprolint: disable=...`` comments.
+* :func:`run_paths` walks files/directories, applies every selected
+  rule, filters suppressed findings, and returns the survivors sorted
+  by location.
+
+Suppressions
+------------
+``# reprolint: disable=R2`` on the flagged line suppresses that rule
+there (add a justifying comment — the docs treat a bare suppression as
+a review smell).  ``# reprolint: disable-file=R6`` anywhere in the
+file suppresses the rule for the whole file.  Several ids may be
+given, comma-separated; free text after the ids is ignored so the
+justification can share the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import io
+import json
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+#: finding severities, in increasing order of gravity
+SEVERITIES = ("warning", "error")
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
+    r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format_text(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Engine configuration (defaults match ``[tool.reprolint]``).
+
+    ``restrict_scopes`` keeps the scoped rules (R2 on ``ppr``/``core``
+    hot paths, R6 on the cost-model/queueing-theory files) limited to
+    their configured paths; tests switch it off to lint fixtures
+    anywhere.
+    """
+
+    select: frozenset[str] | None = None
+    ignore: frozenset[str] = frozenset()
+    restrict_scopes: bool = True
+    #: path parts scoping R2 (float equality) to hot-path packages
+    float_compare_parts: tuple[str, ...] = ("ppr", "core")
+    #: file names scoping R6 (unit-suffix convention)
+    unit_suffix_files: tuple[str, ...] = (
+        "cost_models.py",
+        "quota.py",
+        "theory.py",
+    )
+    #: override for the metric-name registry (None = parse repro.obs.names)
+    metric_counters: frozenset[str] | None = None
+    metric_histograms: frozenset[str] | None = None
+
+
+class LintModule:
+    """One parsed source file plus its suppression table."""
+
+    def __init__(self, path: str, source: str, config: LintConfig) -> None:
+        self.path = path
+        self.source = source
+        self.config = config
+        self.tree = ast.parse(source, filename=path)
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        self._scan_suppressions()
+
+    # ------------------------------------------------------------------
+    def _scan_suppressions(self) -> None:
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.source).readline)
+            comments = [
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):  # pragma: no cover
+            comments = []
+        for line, text in comments:
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group("ids").split(",")}
+            if match.group(1) == "disable-file":
+                self.file_disables |= ids
+            else:
+                self.line_disables.setdefault(line, set()).update(ids)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if finding.rule_id in self.file_disables:
+            return True
+        return finding.rule_id in self.line_disables.get(finding.line, set())
+
+    # ------------------------------------------------------------------
+    def path_parts(self) -> tuple[str, ...]:
+        return Path(self.path).parts
+
+    def filename(self) -> str:
+        return Path(self.path).name
+
+
+class Rule:
+    """Base class for reprolint rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``rationale`` and ``example`` feed ``--list-rules`` and the
+    developer docs, keeping rule documentation next to the code.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    severity: str = "error"
+    rationale: str = ""
+    example: str = ""
+
+    def applies_to(self, module: LintModule) -> bool:
+        return True
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: rule-id -> rule class, in registration order
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.rule_id in RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{cls.rule_id}: unknown severity {cls.severity!r}")
+    RULES[cls.rule_id] = cls
+    return cls
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
+    """Yield every .py file under the given files/directories, sorted."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py") if p.is_file()
+            )
+        elif path.suffix == ".py" and path.is_file():
+            yield path
+
+
+def selected_rules(config: LintConfig) -> list[Rule]:
+    """Instantiate the rules enabled by ``select``/``ignore``."""
+    chosen = []
+    for rule_id, cls in RULES.items():
+        if config.select is not None and rule_id not in config.select:
+            continue
+        if rule_id in config.ignore:
+            continue
+        chosen.append(cls())
+    return chosen
+
+
+def run_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one in-memory source string (the test entry point)."""
+    config = config or LintConfig()
+    module = LintModule(path, source, config)
+    findings: list[Finding] = []
+    for rule in selected_rules(config):
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if not module.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def run_paths(
+    paths: Sequence[str | Path], config: LintConfig | None = None
+) -> tuple[list[Finding], list[str]]:
+    """Lint files/directories.
+
+    Returns ``(findings, errors)`` where ``errors`` are files that
+    could not be read or parsed (reported, never silently skipped).
+    """
+    config = config or LintConfig()
+    findings: list[Finding] = []
+    errors: list[str] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{file_path}: unreadable ({exc})")
+            continue
+        try:
+            findings.extend(run_source(source, str(file_path), config))
+        except SyntaxError as exc:
+            errors.append(f"{file_path}: syntax error ({exc.msg})")
+    return findings, errors
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+def format_findings(
+    findings: Iterable[Finding], output_format: str = "text"
+) -> str:
+    """Render findings as line-oriented text or a JSON array."""
+    items = list(findings)
+    if output_format == "json":
+        return json.dumps([f.as_dict() for f in items], indent=2)
+    return "\n".join(f.format_text() for f in items)
+
+
+def exit_code(findings: Sequence[Finding], errors: Sequence[str]) -> int:
+    """0 clean / warnings only; 1 any error-severity finding; 2 broken input."""
+    if errors:
+        return 2
+    if any(f.severity == "error" for f in findings):
+        return 1
+    return 0

@@ -1,0 +1,575 @@
+"""The reprolint rule pack: this repository's domain invariants.
+
+Each rule encodes an invariant the Python runtime never checks but the
+reproduction's correctness depends on (see docs/DEVELOPMENT.md for the
+per-rule rationale, examples, and suppression policy):
+
+=====  =================  ====================================================
+R1     global-rng         no draws from the global NumPy / stdlib RNG state
+R2     float-compare      no ``==``/``!=`` against floats on hot paths
+R3     csr-view-lifetime  no CSR view held across a graph mutation
+R4     mutable-default    no mutable default arguments / shadowed builtins
+R5     metric-name        metric literals must be registered in repro.obs.names
+R6     unit-suffix        queueing/cost identifiers carry unit suffixes
+=====  =================  ====================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.analysis.engine import (
+    Finding,
+    LintModule,
+    Rule,
+    register,
+)
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local alias -> imported dotted module name (module imports only)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+# ----------------------------------------------------------------------
+# R1: no global RNG
+# ----------------------------------------------------------------------
+@register
+class GlobalRngRule(Rule):
+    """Draws must come from an injected ``np.random.Generator``.
+
+    The paper's methodology replays *identical* seeded workloads
+    through every compared system; a single draw from global RNG state
+    silently couples runs and destroys paired comparisons.
+    """
+
+    rule_id = "R1"
+    name = "global-rng"
+    severity = "error"
+    rationale = (
+        "Randomized kernels (walks, FORA, workload generators) must be "
+        "deterministic under a seeded generator; global RNG state makes "
+        "runs order-dependent and benchmark pairs invalid."
+    )
+    example = "np.random.choice(nodes)  ->  rng.choice(nodes)"
+
+    #: generator/bit-generator constructors and types (not global state)
+    NUMPY_ALLOWED = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "RandomState",
+            "PCG64",
+            "PCG64DXSM",
+            "MT19937",
+            "Philox",
+            "SFC64",
+        }
+    )
+    STDLIB_ALLOWED = frozenset({"Random", "SystemRandom"})
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        aliases = import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or "." not in name:
+                continue
+            head, rest = name.split(".", 1)
+            resolved = f"{aliases.get(head, head)}.{rest}"
+            parts = resolved.split(".")
+            if (
+                len(parts) >= 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] not in self.NUMPY_ALLOWED
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to numpy global RNG '{resolved}'; draw from an "
+                    "injected np.random.Generator (seeded) instead",
+                )
+            elif (
+                len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] not in self.STDLIB_ALLOWED
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"call to stdlib global RNG 'random.{parts[1]}'; use a "
+                    "seeded random.Random instance instead",
+                )
+
+
+# ----------------------------------------------------------------------
+# R2: no float equality on hot paths
+# ----------------------------------------------------------------------
+@register
+class FloatCompareRule(Rule):
+    """``==``/``!=`` against a float literal in ``ppr``/``core``.
+
+    Residues and reserves are accumulated floating-point quantities;
+    equality against computed values is order-of-operations dependent.
+    Exact-zero *sentinel* tests (a slot never written stays exactly
+    0.0) are legitimate — allowlist them with an inline
+    ``# reprolint: disable=R2`` plus a justifying comment.
+    """
+
+    rule_id = "R2"
+    name = "float-compare"
+    severity = "error"
+    rationale = (
+        "Accumulated float quantities on PPR/cost-model hot paths must "
+        "not be compared with ==/!=; results depend on summation order."
+    )
+    example = "if residue[v] == 0.1:  ->  math.isclose(residue[v], 0.1, ...)"
+
+    def applies_to(self, module: LintModule) -> bool:
+        if not module.config.restrict_scopes:
+            return True
+        parts = module.path_parts()
+        return any(p in parts for p in module.config.float_compare_parts)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for side in (left, right):
+                    if isinstance(side, ast.Constant) and isinstance(
+                        side.value, float
+                    ):
+                        symbol = "==" if isinstance(op, ast.Eq) else "!="
+                        yield self.finding(
+                            module,
+                            node,
+                            f"float {symbol} comparison against "
+                            f"{side.value!r}; use a tolerance "
+                            "(math.isclose / np.isclose) or allowlist an "
+                            "exact-zero sentinel with "
+                            "'# reprolint: disable=R2' and a justification",
+                        )
+                        break
+
+
+# ----------------------------------------------------------------------
+# R3: CSR-view lifetime across graph mutations
+# ----------------------------------------------------------------------
+@register
+class CsrViewLifetimeRule(Rule):
+    """A ``csr_view`` result must not be read after a graph mutation.
+
+    The incremental CSR store patches its arrays in place; adjacency
+    reads through a pre-mutation facade are undefined (the stale-view
+    bug class PR 1 fixed by hand).
+    """
+
+    rule_id = "R3"
+    name = "csr-view-lifetime"
+    severity = "error"
+    rationale = (
+        "csr_view() facades share the per-graph store's arrays; any "
+        "DynamicGraph mutation invalidates adjacency reads through "
+        "views obtained earlier."
+    )
+    example = (
+        "view = csr_view(g); g.add_edge(u, v); view.out_neighbors_of(i)"
+        "  ->  re-obtain the view after the mutation"
+    )
+
+    MUTATORS = frozenset(
+        {
+            "add_edge",
+            "remove_edge",
+            "toggle_edge",
+            "add_node",
+            "remove_node",
+            "restore",
+            "apply_update",
+            "apply",  # EdgeUpdate.apply(graph) mutates the graph
+        }
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    @staticmethod
+    def _is_csr_view_call(value: ast.AST) -> bool:
+        if not isinstance(value, ast.Call):
+            return False
+        func = value.func
+        if isinstance(func, ast.Name):
+            return func.id == "csr_view"
+        return isinstance(func, ast.Attribute) and func.attr == "csr_view"
+
+    def _check_function(
+        self, module: LintModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        # ordered event stream over the function body: view acquisition,
+        # graph mutation, view use.  Linear order by source position is
+        # a sound-enough approximation for this codebase's straight-line
+        # update paths (loops re-run the same order).
+        events: list[tuple[int, int, str, str]] = []
+        view_vars: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and self._is_csr_view_call(
+                node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        view_vars.add(target.id)
+                        events.append(
+                            (node.lineno, node.col_offset, "acquire", target.id)
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self.MUTATORS:
+                    events.append(
+                        (node.lineno, node.col_offset, "mutate", node.func.attr)
+                    )
+        if not view_vars:
+            return
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in view_vars
+            ):
+                events.append((node.lineno, node.col_offset, "use", node.id))
+
+        events.sort(key=lambda e: (e[0], e[1]))
+        stale: dict[str, str] = {}  # view var -> mutator that staled it
+        fresh: set[str] = set()
+        for lineno, col, kind, name in events:
+            if kind == "acquire":
+                fresh.add(name)
+                stale.pop(name, None)
+            elif kind == "mutate":
+                for var in fresh:
+                    stale[var] = name
+                fresh.clear()
+            elif kind == "use" and name in stale:
+                marker = ast.Name(id=name)
+                marker.lineno = lineno
+                marker.col_offset = col
+                yield self.finding(
+                    module,
+                    marker,
+                    f"CSR view '{name}' used after graph mutation "
+                    f"'{stale[name]}()'; re-obtain the view after mutating "
+                    "(stale facades have undefined adjacency)",
+                )
+                stale.pop(name)  # one report per staling, not per use
+
+
+# ----------------------------------------------------------------------
+# R4: mutable defaults and shadowed builtins
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments and shadowed builtin names."""
+
+    rule_id = "R4"
+    name = "mutable-default"
+    severity = "error"
+    rationale = (
+        "A mutable default is shared across calls (state leaks between "
+        "requests); shadowing a builtin makes later uses of the builtin "
+        "in the same scope silently wrong."
+    )
+    example = "def f(acc=[]):  ->  def f(acc=None): acc = [] if acc is None ..."
+
+    MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "deque"})
+    #: builtins whose shadowing has actually bitten review in the wild
+    SHADOWED = frozenset(
+        {
+            "list", "dict", "set", "tuple", "str", "int", "float", "bool",
+            "bytes", "id", "type", "input", "filter", "map", "sum", "min",
+            "max", "len", "next", "iter", "range", "vars", "hash", "object",
+            "print", "all", "any", "sorted", "dir", "open", "format",
+            "slice", "property", "round", "abs", "pow", "compile", "eval",
+            "exec", "bin", "hex", "oct", "repr", "zip",
+        }
+    )
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+                yield from self._check_params(module, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    yield from self._check_store(module, target)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_store(module, node.target)
+
+    def _check_defaults(
+        self, module: LintModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        defaults = list(func.args.defaults) + [
+            d for d in func.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self.MUTABLE_CALLS
+            )
+            if bad:
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in '{func.name}()'; default "
+                    "to None and construct inside the function",
+                )
+
+    def _check_params(
+        self, module: LintModule, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        args = func.args
+        for arg in (
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *( [args.vararg] if args.vararg else [] ),
+            *( [args.kwarg] if args.kwarg else [] ),
+        ):
+            if arg.arg in self.SHADOWED:
+                yield self.finding(
+                    module,
+                    arg,
+                    f"parameter '{arg.arg}' of '{func.name}()' shadows a "
+                    "builtin; rename it",
+                )
+
+    def _check_store(
+        self, module: LintModule, target: ast.AST
+    ) -> Iterator[Finding]:
+        if isinstance(target, ast.Name) and target.id in self.SHADOWED:
+            yield self.finding(
+                module,
+                target,
+                f"assignment to '{target.id}' shadows a builtin; rename it",
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                yield from self._check_store(module, element)
+
+
+# ----------------------------------------------------------------------
+# R5: metric-name literals must be registered
+# ----------------------------------------------------------------------
+@register
+class MetricNameRule(Rule):
+    """Metric-name literals must match :mod:`repro.obs.names`.
+
+    A typo'd counter or a histogram observed under a counter's name
+    silently splits a time series; reports then attribute cost to a
+    metric nobody charts.
+    """
+
+    rule_id = "R5"
+    name = "metric-name"
+    severity = "error"
+    rationale = (
+        "Counter/histogram names are the contract between instrumented "
+        "code and reports; drift is invisible at runtime."
+    )
+    example = 'metrics.histogram("service.qurey")  ->  "service.query"'
+
+    METHODS = {"counter": "COUNTERS", "histogram": "HISTOGRAMS", "time": "HISTOGRAMS"}
+
+    _registry_cache: dict[str, frozenset[str]] | None = None
+
+    @classmethod
+    def load_registry(cls) -> dict[str, frozenset[str]]:
+        """Parse repro/obs/names.py statically (no package import)."""
+        if cls._registry_cache is not None:
+            return cls._registry_cache
+        names_path = (
+            Path(__file__).resolve().parent.parent / "obs" / "names.py"
+        )
+        registry: dict[str, frozenset[str]] = {
+            "COUNTERS": frozenset(),
+            "HISTOGRAMS": frozenset(),
+        }
+        try:
+            tree = ast.parse(names_path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):  # pragma: no cover - packaging error
+            cls._registry_cache = registry
+            return registry
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in registry
+                ):
+                    literals = {
+                        n.value
+                        for n in ast.walk(node.value)
+                        if isinstance(n, ast.Constant)
+                        and isinstance(n.value, str)
+                    }
+                    registry[target.id] = frozenset(literals)
+        cls._registry_cache = registry
+        return registry
+
+    def _registry_for(
+        self, module: LintModule, kind: str
+    ) -> frozenset[str]:
+        config = module.config
+        if kind == "COUNTERS" and config.metric_counters is not None:
+            return config.metric_counters
+        if kind == "HISTOGRAMS" and config.metric_histograms is not None:
+            return config.metric_histograms
+        return self.load_registry()[kind]
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            kind = self.METHODS.get(node.func.attr)
+            if kind is None or not node.args:
+                continue
+            first = node.args[0]
+            if not (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, str)
+            ):
+                continue
+            registered = self._registry_for(module, kind)
+            if first.value in registered:
+                continue
+            other = "HISTOGRAMS" if kind == "COUNTERS" else "COUNTERS"
+            hint = (
+                f" (registered as a {other.lower()[:-1]} — wrong metric kind)"
+                if first.value in self._registry_for(module, other)
+                else "; register it in repro/obs/names.py"
+            )
+            yield self.finding(
+                module,
+                first,
+                f"metric name '{first.value}' passed to "
+                f".{node.func.attr}() is not a registered "
+                f"{kind.lower()[:-1]} name{hint}",
+            )
+
+
+# ----------------------------------------------------------------------
+# R6: unit-suffix convention for queueing/cost-model identifiers
+# ----------------------------------------------------------------------
+@register
+class UnitSuffixRule(Rule):
+    """Rate/time identifiers in cost-model code must carry unit suffixes.
+
+    The Table I / Eq. 2 terms mix rates (lambda, per second) and mean
+    times (t-tilde, seconds); a unitless name like ``timeout`` or
+    ``rate_ms`` is how the two get multiplied in the wrong units.
+    Approved suffixes: ``_s`` / ``_seconds`` / ``_time`` (seconds),
+    ``_rate`` / ``_per_s`` / ``_hz`` (per second).  The paper's bare
+    notation (``lambda_q``, ``t_u``, ``cv_q``, ``rho``) is exempt.
+    """
+
+    rule_id = "R6"
+    name = "unit-suffix"
+    severity = "error"
+    rationale = (
+        "Cost-model terms must stay in consistent units (rates vs mean "
+        "times, Table I / Eq. 2); names carry the units in this codebase."
+    )
+    example = "wait = ...  # seconds  ->  wait_s = ..."
+
+    STEMS = frozenset(
+        {"time", "rate", "delay", "latency", "interval", "period", "timeout"}
+    )
+    SUFFIXES = ("_s", "_seconds", "_per_s", "_rate", "_time", "_hz")
+    #: the paper's notation, used verbatim across Section IV
+    NOTATION = frozenset(
+        {"lambda_q", "lambda_u", "t_q", "t_u", "rho", "mu", "tau"}
+    )
+
+    def applies_to(self, module: LintModule) -> bool:
+        if not module.config.restrict_scopes:
+            return True
+        return module.filename() in module.config.unit_suffix_files
+
+    def _violates(self, name: str) -> bool:
+        if name in self.NOTATION or name.startswith("_"):
+            return False
+        parts = name.lower().split("_")
+        if not any(part in self.STEMS for part in parts):
+            return False
+        lowered = name.lower()
+        if lowered in self.STEMS:  # a bare stem is always ambiguous
+            return True
+        return not any(lowered.endswith(suffix) for suffix in self.SUFFIXES)
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                    if self._violates(arg.arg):
+                        yield self.finding(
+                            module,
+                            arg,
+                            self._message(f"parameter '{arg.arg}'"),
+                        )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and self._violates(
+                        target.id
+                    ):
+                        yield self.finding(
+                            module,
+                            target,
+                            self._message(f"variable '{target.id}'"),
+                        )
+
+    def _message(self, what: str) -> str:
+        return (
+            f"{what} names a rate/time quantity without a unit suffix; "
+            f"use one of {', '.join(self.SUFFIXES)} (or the paper "
+            "notation lambda_*/t_*/cv_*)"
+        )

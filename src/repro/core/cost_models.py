@@ -27,6 +27,7 @@ import math
 from collections.abc import Mapping
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.ppr.base import DynamicPPRAlgorithm
 
@@ -89,15 +90,15 @@ class CostModel:
         return sum(self.tau(name) * f for name, f in factors.items())
 
     # -- helpers -----------------------------------------------------------
-    def beta_dict(self, values) -> dict[str, float]:
+    def beta_dict(self, values: ArrayLike) -> dict[str, float]:
         """Convert a beta vector (param_names order) to a mapping."""
-        values = np.atleast_1d(np.asarray(values, dtype=np.float64))
-        if values.size != len(self.param_names):
+        vector = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if vector.size != len(self.param_names):
             raise ValueError(
                 f"expected {len(self.param_names)} hyperparameters "
-                f"{self.param_names}, got {values.size}"
+                f"{self.param_names}, got {vector.size}"
             )
-        return dict(zip(self.param_names, values.tolist()))
+        return dict(zip(self.param_names, vector.tolist()))
 
     def without_constants(self) -> "CostModel":
         """The *Quota-c* ablation: same factors, all constants = 1."""
@@ -124,7 +125,9 @@ class AgendaCostModel(CostModel):
         "Graph Update",
     )
 
-    def query_factors(self, beta, lambda_q, lambda_u):
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
         r = beta["r_max"]
         r_b = beta["r_max_b"]
         ratio = lambda_u / lambda_q if lambda_q > 0 else 0.0
@@ -134,7 +137,7 @@ class AgendaCostModel(CostModel):
             "Random Walk": r,
         }
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         # Graph Update is the constant adjacency/snapshot maintenance
         # (folded into tau_5 in the paper; kept separate here because
         # this implementation times it separately).
@@ -153,11 +156,13 @@ class ForaCostModel(CostModel):
     query_subprocesses = ("Forward Push", "Random Walk")
     update_subprocesses = ("Graph Update",)
 
-    def query_factors(self, beta, lambda_q, lambda_u):
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
         r = beta["r_max"]
         return {"Forward Push": 1.0 / r, "Random Walk": r}
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Graph Update": 1.0}
 
 
@@ -167,7 +172,7 @@ class ForaPlusCostModel(ForaCostModel):
     algorithm_name = "FORA+"
     update_subprocesses = ("Index Build",)
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Index Build": beta["r_max"]}
 
 
@@ -191,14 +196,16 @@ class SpeedPPRCostModel(CostModel):
     query_subprocesses = ("Power Iteration", "Random Walk")
     update_subprocesses = ("Graph Update",)
 
-    def query_factors(self, beta, lambda_q, lambda_u):
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
         r = beta["r_max"]
         return {
             "Power Iteration": math.log(1.0 + 1.0 / (r * self.m)),
             "Random Walk": r,
         }
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Graph Update": 1.0}
 
 
@@ -208,7 +215,7 @@ class SpeedPPRPlusCostModel(SpeedPPRCostModel):
     algorithm_name = "SpeedPPR+"
     update_subprocesses = ("Index Build",)
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Index Build": beta["r_max"]}
 
 
@@ -221,14 +228,16 @@ class TopPPRCostModel(CostModel):
     query_subprocesses = ("Forward Push", "Random Walk", "Reverse Push")
     update_subprocesses = ("Graph Update",)
 
-    def query_factors(self, beta, lambda_q, lambda_u):
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
         return {
             "Forward Push": 1.0 / beta["r_max"],
             "Random Walk": beta["r_max"],
             "Reverse Push": 1.0 / beta["r_max_b"],
         }
 
-    def update_factors(self, beta):
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Graph Update": 1.0}
 
 

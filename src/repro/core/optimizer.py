@@ -23,12 +23,15 @@ from __future__ import annotations
 
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 from scipy import optimize
 
-Objective = Callable[[np.ndarray], float]
-Constraint = Callable[[np.ndarray], float]
+FloatArray = NDArray[np.float64]
+Objective = Callable[[FloatArray], float]
+Constraint = Callable[[FloatArray], float]
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,7 +51,7 @@ class ConstrainedProblem:
     def dim(self) -> int:
         return len(self.bounds)
 
-    def violation(self, x: np.ndarray) -> float:
+    def violation(self, x: FloatArray) -> float:
         """Largest constraint violation (0 when feasible)."""
         if not self.constraints:
             return 0.0
@@ -59,7 +62,7 @@ class ConstrainedProblem:
 class OptimizationResult:
     """Outcome of one Augmented Lagrangian run."""
 
-    x: np.ndarray
+    x: FloatArray
     value: float
     outer_iterations: int
     converged: bool
@@ -94,7 +97,7 @@ class AugmentedLagrangianOptimizer:
         mu0: float = 10.0,
         mu_growth: float = 5.0,
         tol: float = 1e-9,
-        inner_options: dict | None = None,
+        inner_options: dict[str, Any] | None = None,
     ) -> None:
         if max_outer < 1:
             raise ValueError("max_outer must be >= 1")
@@ -104,14 +107,17 @@ class AugmentedLagrangianOptimizer:
         self.mu0 = mu0
         self.mu_growth = mu_growth
         self.tol = tol
-        self.inner_options = {"maxiter": 200, **(inner_options or {})}
+        self.inner_options: dict[str, Any] = {
+            "maxiter": 200,
+            **(inner_options or {}),
+        }
 
     # ------------------------------------------------------------------
     def minimize(
-        self, problem: ConstrainedProblem, x0: np.ndarray
+        self, problem: ConstrainedProblem, x0: FloatArray
     ) -> OptimizationResult:
         """Run the Augmented Lagrangian loop from one starting point."""
-        x = np.clip(
+        x: FloatArray = np.clip(
             np.asarray(x0, dtype=np.float64),
             [lo for lo, _ in problem.bounds],
             [hi for _, hi in problem.bounds],
@@ -130,7 +136,7 @@ class AugmentedLagrangianOptimizer:
                 bounds=problem.bounds,
                 options=self.inner_options,
             )
-            x_new = inner.x
+            x_new: FloatArray = np.asarray(inner.x, dtype=np.float64)
             history.append(float(problem.objective(x_new)))
             violation = problem.violation(x_new)
             moved = float(np.linalg.norm(x_new - x))
@@ -157,7 +163,7 @@ class AugmentedLagrangianOptimizer:
     def minimize_multistart(
         self,
         problem: ConstrainedProblem,
-        starts: Sequence[np.ndarray],
+        starts: Sequence[FloatArray],
     ) -> OptimizationResult:
         """Run from every start; return the best feasible result.
 
@@ -178,9 +184,9 @@ class AugmentedLagrangianOptimizer:
         self,
         problem: ConstrainedProblem,
         mu: float,
-        multipliers: np.ndarray,
+        multipliers: FloatArray,
     ) -> Objective:
-        def phi(x: np.ndarray) -> float:
+        def phi(x: FloatArray) -> float:
             value = problem.objective(x)
             for i, constraint in enumerate(problem.constraints):
                 excess = max(0.0, constraint(x))

@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.core.cost_models import CostModel
 from repro.core.optimizer import (
@@ -30,6 +31,8 @@ from repro.core.optimizer import (
     ConstrainedProblem,
     OptimizationResult,
 )
+
+FloatArray = NDArray[np.float64]
 
 #: log10 search box for every threshold hyperparameter in (0, 1)
 LOG_LO = -8.0
@@ -111,17 +114,17 @@ class QuotaController:
     def param_names(self) -> tuple[str, ...]:
         return self.cost_model.param_names
 
-    def _beta_of(self, x: np.ndarray) -> dict[str, float]:
+    def _beta_of(self, x: FloatArray) -> dict[str, float]:
         return self.cost_model.beta_dict(np.power(10.0, x))
 
-    def _rho(self, x: np.ndarray, lambda_q: float, lambda_u: float) -> float:
+    def _rho(self, x: FloatArray, lambda_q: float, lambda_u: float) -> float:
         beta = self._beta_of(x)
         t_q = self.cost_model.query_time(beta, lambda_q, lambda_u)
         t_u = self.cost_model.update_time(beta)
         return lambda_q * t_q + lambda_u * t_u
 
     def _response_time(
-        self, x: np.ndarray, lambda_q: float, lambda_u: float
+        self, x: FloatArray, lambda_q: float, lambda_u: float
     ) -> float:
         """Stable-regime response estimate with a finite continuation.
 
@@ -167,13 +170,16 @@ class QuotaController:
         )
 
     # ------------------------------------------------------------------
-    def _to_log(self, beta: dict[str, float]) -> np.ndarray:
+    def _to_log(self, beta: dict[str, float]) -> FloatArray:
         values = [beta[name] for name in self.param_names]
-        return np.log10(np.clip(values, 1e-12, 1.0 - 1e-12))
+        clipped = np.clip(
+            np.asarray(values, dtype=np.float64), 1e-12, 1.0 - 1e-12
+        )
+        return np.asarray(np.log10(clipped), dtype=np.float64)
 
     def _starting_points(
         self, warm_start: dict[str, float] | None, quick: bool
-    ) -> list[np.ndarray]:
+    ) -> list[FloatArray]:
         """Log-space lattice plus warm/caller-supplied starts.
 
         ``quick`` shrinks the lattice for the online re-optimization
@@ -183,8 +189,8 @@ class QuotaController:
         """
         lattice_axis = (-5.0, -1.5) if quick else (-6.0, -4.0, -2.0, -0.7)
         dim = len(self.param_names)
-        starts = [
-            np.array(point)
+        starts: list[FloatArray] = [
+            np.array(point, dtype=np.float64)
             for point in itertools.product(lattice_axis, repeat=dim)
         ]
         for beta in self.extra_starts:

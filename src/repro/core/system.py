@@ -20,6 +20,7 @@ import time
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TypeVar
 
 from repro.core.quota import QuotaController, QuotaDecision
 from repro.core.seed import SeedQueue
@@ -30,6 +31,8 @@ from repro.queueing.workload import QUERY, UPDATE, Request, Workload
 
 QueryCallback = Callable[[Request, PPRVector, int], None]
 
+_T = TypeVar("_T")
+
 
 @dataclass(slots=True)
 class RateEstimator:
@@ -37,8 +40,8 @@ class RateEstimator:
     continuously monitor the rates")."""
 
     window: float = 10.0
-    _queries: deque = field(default_factory=deque)
-    _updates: deque = field(default_factory=deque)
+    _queries: deque[float] = field(default_factory=deque)
+    _updates: deque[float] = field(default_factory=deque)
 
     def observe(self, kind: str, arrival: float) -> None:
         store = self._queries if kind == QUERY else self._updates
@@ -169,13 +172,15 @@ class QuotaSystem:
             )
 
             if request.kind == UPDATE:
+                update = request.update
+                assert update is not None  # UPDATE requests carry one
                 if self.epsilon_r > 0.0:
                     # Seed: defer; the cost is paid at flush time.
-                    seed_queue.add(request.update, request.arrival)
+                    seed_queue.add(update, request.arrival)
                     continue
                 start = max(request.arrival, server_free)
                 elapsed = self._timed(
-                    lambda: self.algorithm.apply_update(request.update)
+                    lambda: self.algorithm.apply_update(update)
                 )[1]
                 self.metrics.histogram("service.update").observe(elapsed)
                 finish = start + elapsed
@@ -186,8 +191,10 @@ class QuotaSystem:
                 continue
 
             # --- query ---------------------------------------------------
+            source = request.source
+            assert source is not None  # QUERY requests carry one
             start = max(request.arrival, server_free)
-            if len(seed_queue) and seed_queue.should_flush(request.source):
+            if len(seed_queue) and seed_queue.should_flush(source):
                 # the query must wait for the forced flush: the deferred
                 # updates occupy the server first, then the query runs
                 flushed, flush_elapsed = self._timed(
@@ -209,7 +216,7 @@ class QuotaSystem:
                     )
                 start = flush_finish
             estimate, query_elapsed = self._timed(
-                lambda: self.algorithm.query(request.source)
+                lambda: self.algorithm.query(source)
             )
             self.metrics.histogram("service.query").observe(query_elapsed)
             finish = start + query_elapsed
@@ -258,6 +265,7 @@ class QuotaSystem:
             item, elapsed = self._timed(
                 lambda: seed_queue.flush_one(self.algorithm)
             )
+            assert item is not None  # queue was non-empty
             self.metrics.histogram("service.update").observe(elapsed)
             # an update cannot start before it arrived
             start = max(server_free, item.arrival)
@@ -311,6 +319,7 @@ class QuotaSystem:
 
     def _rates_moved(self, lambda_q: float, lambda_u: float) -> bool:
         """True when either monitored rate drifted past the threshold."""
+        assert self._configured_rates is not None  # caller checked
         last_q, last_u = self._configured_rates
         threshold = self.rate_change_threshold
 
@@ -335,7 +344,7 @@ class QuotaSystem:
         return False
 
     @staticmethod
-    def _timed(fn):
+    def _timed(fn: Callable[[], _T]) -> tuple[_T, float]:
         """(result, elapsed_wall_seconds) of ``fn()``."""
         started = time.perf_counter()
         result = fn()

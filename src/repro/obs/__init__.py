@@ -14,9 +14,13 @@ from repro.obs.metrics import (
     get_metrics,
     reset_metrics,
 )
+from repro.obs.names import ALL_METRICS, COUNTERS, HISTOGRAMS
 
 __all__ = [
+    "ALL_METRICS",
+    "COUNTERS",
     "Counter",
+    "HISTOGRAMS",
     "Histogram",
     "MetricsRegistry",
     "get_metrics",

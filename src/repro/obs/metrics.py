@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 import numpy as np
@@ -145,7 +146,7 @@ class MetricsRegistry:
         return histogram
 
     @contextmanager
-    def time(self, name: str):
+    def time(self, name: str) -> Iterator[None]:
         """Context manager recording elapsed wall seconds into ``name``."""
         started = time.perf_counter()
         try:

@@ -1,0 +1,50 @@
+"""Canonical registry of metric names used across the repository.
+
+Every counter/histogram name passed to
+:meth:`repro.obs.MetricsRegistry.counter`,
+:meth:`~repro.obs.MetricsRegistry.histogram` or
+:meth:`~repro.obs.MetricsRegistry.time` as a string literal must be
+listed here.  The ``reprolint`` rule R5 (``metric-name``) statically
+checks call sites against this module, so a typo'd or renamed metric
+("service.qurey", a counter observed as a histogram) fails the lint
+gate instead of silently splitting a time series.
+
+This module is deliberately dependency-free: the lint engine parses it
+with :mod:`ast` rather than importing the package.
+
+Naming conventions
+------------------
+* ``csr_*``         — counters of the incremental CSR maintenance layer.
+* ``service.*``     — per-operation service-time histograms (seconds)
+  recorded by :class:`repro.core.system.QuotaSystem`.
+* ``calibration.*`` — tau-calibration accounting.
+
+To add a metric: register its name in the matching set below, then use
+the literal at the call site.  Dynamic (non-literal) names are not
+checked — avoid them on hot paths anyway.
+"""
+
+#: monotonically increasing counts
+COUNTERS = frozenset(
+    {
+        "csr_cache_hits",
+        "csr_cache_misses",
+        "csr_delta_applies",
+        "csr_rebuilds",
+        "csr_compactions",
+        "calibration.runs",
+    }
+)
+
+#: observed-quantity histograms (values in seconds unless noted)
+HISTOGRAMS = frozenset(
+    {
+        "service.query",
+        "service.update",
+        "service.flush",
+        "service.reconfigure",
+        "calibration.probe",
+    }
+)
+
+ALL_METRICS = COUNTERS | HISTOGRAMS

@@ -191,7 +191,10 @@ class TrackedPPR:
         # + (1-alpha)/alpha * p P, so differencing the two graphs
         # leaves exactly this one term (no source special case).
         coefficient = (1.0 - alpha) / alpha * self.reserve[u_index]
-        if coefficient != 0.0:
+        # exact-zero sentinel: reserve[u] stays exactly 0.0 until a push
+        # writes it, so this only skips provably-no-op corrections; a
+        # tolerance would wrongly drop small but real corrections.
+        if coefficient != 0.0:  # reprolint: disable=R2
             for w, d in delta.items():
                 self.residue[w] += coefficient * d
 
@@ -212,7 +215,9 @@ class TrackedPPR:
         k = num_walks_k if num_walks_k is not None else self.params.num_walks(
             self._view.n
         )
-        holders = np.flatnonzero(self.residue != 0.0)
+        # exact-zero sparsity mask: push writes exactly 0.0 into settled
+        # slots, so != 0.0 selects precisely the walk-needing residues.
+        holders = np.flatnonzero(self.residue != 0.0)  # reprolint: disable=R2
         if holders.size:
             res = self.residue[holders]
             counts = np.maximum(

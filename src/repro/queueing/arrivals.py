@@ -19,6 +19,9 @@ from abc import ABC, abstractmethod
 from collections.abc import Sequence
 
 import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
 
 
 class ArrivalProcess(ABC):
@@ -30,24 +33,26 @@ class ArrivalProcess(ABC):
         self.rate = rate
 
     @abstractmethod
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
         """Draw ``count`` positive inter-arrival gaps (mean 1/rate)."""
 
-    def generate(self, t_end: float, rng: np.random.Generator) -> np.ndarray:
+    def generate(self, t_end: float, rng: np.random.Generator) -> FloatArray:
         """Arrival timestamps in [0, t_end), sorted ascending."""
         if t_end <= 0:
             return np.empty(0, dtype=np.float64)
         expected = self.rate * t_end
-        times: list[np.ndarray] = []
+        times: list[FloatArray] = []
         total = 0.0
         # draw in chunks until we pass t_end
         while total < t_end:
             chunk = self.inter_arrivals(max(int(expected) + 16, 16), rng)
-            arrivals = total + np.cumsum(chunk)
+            arrivals = np.asarray(total + np.cumsum(chunk), dtype=np.float64)
             times.append(arrivals)
             total = float(arrivals[-1])
         all_times = np.concatenate(times)
-        return all_times[all_times < t_end]
+        return np.asarray(all_times[all_times < t_end], dtype=np.float64)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rate={self.rate:g})"
@@ -56,15 +61,23 @@ class ArrivalProcess(ABC):
 class PoissonArrivals(ArrivalProcess):
     """Exponential inter-arrivals — the paper's default."""
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
-        return rng.exponential(1.0 / self.rate, size=count)
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
+        return np.asarray(
+            rng.exponential(1.0 / self.rate, size=count), dtype=np.float64
+        )
 
 
 class UniformArrivals(ArrivalProcess):
     """Inter-arrivals uniform on (0, 2/rate) — mean 1/rate, CV 1/sqrt(3)."""
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
-        return rng.uniform(0.0, 2.0 / self.rate, size=count)
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
+        return np.asarray(
+            rng.uniform(0.0, 2.0 / self.rate, size=count), dtype=np.float64
+        )
 
 
 class GeometricArrivals(ArrivalProcess):
@@ -81,9 +94,12 @@ class GeometricArrivals(ArrivalProcess):
         if not 0 < self.rate * self.tick < 1:
             raise ValueError("rate * tick must lie in (0, 1)")
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
         p = self.rate * self.tick
-        return rng.geometric(p, size=count) * self.tick
+        gaps = rng.geometric(p, size=count) * self.tick
+        return np.asarray(gaps, dtype=np.float64)
 
 
 class NormalArrivals(ArrivalProcess):
@@ -95,11 +111,15 @@ class NormalArrivals(ArrivalProcess):
             raise ValueError("cv must be positive")
         self.cv = cv
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
         mean = 1.0 / self.rate
         draws = rng.normal(mean, self.cv * mean, size=count)
         # reflect non-positive draws to keep gaps strictly positive
-        return np.maximum(np.abs(draws), mean * 1e-6)
+        return np.asarray(
+            np.maximum(np.abs(draws), mean * 1e-6), dtype=np.float64
+        )
 
 
 class GammaArrivals(ArrivalProcess):
@@ -111,9 +131,13 @@ class GammaArrivals(ArrivalProcess):
             raise ValueError("shape must be positive")
         self.shape = shape
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
         scale = 1.0 / (self.rate * self.shape)
-        return rng.gamma(self.shape, scale, size=count)
+        return np.asarray(
+            rng.gamma(self.shape, scale, size=count), dtype=np.float64
+        )
 
 
 class TraceArrivals(ArrivalProcess):
@@ -125,13 +149,16 @@ class TraceArrivals(ArrivalProcess):
             raise ValueError("trace timestamps must be non-negative")
         span = float(arr[-1]) if arr.size else 1.0
         super().__init__(rate=max(arr.size / max(span, 1e-12), 1e-12))
-        self._times = arr
+        self._times: FloatArray = arr
 
-    def inter_arrivals(self, count: int, rng: np.random.Generator) -> np.ndarray:
+    def inter_arrivals(
+        self, count: int, rng: np.random.Generator
+    ) -> FloatArray:
         raise NotImplementedError("trace replay does not resample gaps")
 
-    def generate(self, t_end: float, rng: np.random.Generator) -> np.ndarray:
-        return self._times[self._times < t_end].copy()
+    def generate(self, t_end: float, rng: np.random.Generator) -> FloatArray:
+        kept = self._times[self._times < t_end]
+        return np.asarray(kept, dtype=np.float64).copy()
 
 
 def wikipedia_like_trace(
@@ -140,7 +167,7 @@ def wikipedia_like_trace(
     rng: np.random.Generator,
     burst_factor: float = 4.0,
     mean_phase: float | None = None,
-) -> np.ndarray:
+) -> FloatArray:
     """Bursty arrival timestamps mimicking a live event stream.
 
     A two-state Markov-modulated Poisson process: the instantaneous rate

@@ -20,6 +20,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.queueing.workload import QUERY, Request, Workload
 
@@ -63,9 +64,10 @@ class SimulationResult:
     def of_kind(self, kind: str) -> list[CompletedRequest]:
         return [c for c in self.completed if c.kind == kind]
 
-    def query_response_times(self) -> np.ndarray:
+    def query_response_times(self) -> NDArray[np.float64]:
         return np.array(
-            [c.response_time for c in self.completed if c.kind == QUERY]
+            [c.response_time for c in self.completed if c.kind == QUERY],
+            dtype=np.float64,
         )
 
     def mean_query_response_time(self) -> float:

@@ -37,13 +37,10 @@ def save_workload_trace(
                     [f"{request.arrival!r}", QUERY, request.source, ""]
                 )
             else:
+                update = request.update
+                assert update is not None  # UPDATE requests carry one
                 writer.writerow(
-                    [
-                        f"{request.arrival!r}",
-                        UPDATE,
-                        request.update.u,
-                        request.update.v,
-                    ]
+                    [f"{request.arrival!r}", UPDATE, update.u, update.v]
                 )
 
 

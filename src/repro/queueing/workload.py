@@ -11,9 +11,11 @@ durations follow the paper's exponential(mean 10 s) phase lengths.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.graph.digraph import DynamicGraph
 from repro.graph.updates import EdgeUpdate
@@ -21,6 +23,9 @@ from repro.queueing.arrivals import ArrivalProcess, PoissonArrivals
 
 QUERY = "query"
 UPDATE = "update"
+
+FloatArray = NDArray[np.float64]
+NodeArray = NDArray[np.int64]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,7 +65,7 @@ class Workload:
     def __len__(self) -> int:
         return len(self.requests)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Request]:
         return iter(self.requests)
 
     def __getitem__(self, index: int) -> Request:
@@ -82,7 +87,7 @@ class Workload:
 
 
 def _random_queries(
-    times: np.ndarray, nodes: np.ndarray, rng: np.random.Generator
+    times: FloatArray, nodes: NodeArray, rng: np.random.Generator
 ) -> list[Request]:
     sources = rng.choice(nodes, size=times.size)
     return [
@@ -91,9 +96,9 @@ def _random_queries(
 
 
 def _random_updates(
-    times: np.ndarray, nodes: np.ndarray, rng: np.random.Generator
+    times: FloatArray, nodes: NodeArray, rng: np.random.Generator
 ) -> list[Request]:
-    requests = []
+    requests: list[Request] = []
     for t in times:
         u, v = rng.choice(nodes, size=2, replace=False)
         requests.append(
@@ -110,8 +115,8 @@ def generate_workload(
     rng: np.random.Generator | int | None = None,
     query_process: ArrivalProcess | None = None,
     update_process: ArrivalProcess | None = None,
-    query_times: np.ndarray | None = None,
-    update_times: np.ndarray | None = None,
+    query_times: FloatArray | None = None,
+    update_times: FloatArray | None = None,
 ) -> Workload:
     """Generate a mixed workload over [0, t_end).
 
@@ -145,13 +150,13 @@ def generate_workload(
             process = query_process or PoissonArrivals(lambda_q)
             query_times = process.generate(t_end, rng)
         else:
-            query_times = np.empty(0)
+            query_times = np.empty(0, dtype=np.float64)
     if update_times is None:
         if lambda_u > 0:
             process = update_process or PoissonArrivals(lambda_u)
             update_times = process.generate(t_end, rng)
         else:
-            update_times = np.empty(0)
+            update_times = np.empty(0, dtype=np.float64)
 
     requests = _random_queries(query_times, nodes, rng)
     requests += _random_updates(update_times, nodes, rng)
@@ -223,7 +228,7 @@ def dynamic_pattern_segments(
             return hi
         return lo + (hi - lo) * i / (steps - 1)
 
-    segments = []
+    segments: list[WorkloadSegment] = []
     for i, duration in enumerate(durations):
         if pattern == "query-inclined":
             lq, lu = ramp(q_range[0], q_range[1], i), u_fixed

@@ -1,0 +1,184 @@
+"""Tests for the reprolint engine: suppressions, runner, reporting, CLI."""
+
+import json
+import textwrap
+
+import pytest
+
+import repro.analysis  # noqa: F401  (registers the rule pack)
+from repro.analysis import (
+    RULES,
+    Finding,
+    LintConfig,
+    Rule,
+    exit_code,
+    format_findings,
+    register,
+    run_paths,
+    run_source,
+)
+from repro.analysis.__main__ import main
+
+UNSCOPED = LintConfig(restrict_scopes=False)
+
+# an R1 violation usable anywhere (R1 is unscoped by design)
+R1_SNIPPET = "import numpy as np\nx = np.random.choice([1, 2])\n"
+
+
+def lint(source, config=UNSCOPED, path="fixture.py"):
+    return run_source(textwrap.dedent(source), path, config)
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        assert set(RULES) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+
+            @register
+            class Dup(Rule):
+                rule_id = "R1"
+                name = "dup"
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+
+            @register
+            class BadSeverity(Rule):
+                rule_id = "R99"
+                name = "bad"
+                severity = "fatal"
+
+    def test_every_rule_documents_itself(self):
+        for cls in RULES.values():
+            assert cls.name
+            assert cls.rationale
+
+
+class TestSuppressions:
+    def test_line_disable_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])  # reprolint: disable=R1\n"
+        )
+        assert lint(src) == []
+
+    def test_line_disable_other_rule_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])  # reprolint: disable=R2\n"
+        )
+        assert [f.rule_id for f in lint(src)] == ["R1"]
+
+    def test_line_disable_multiple_ids(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])  # reprolint: disable=R2, R1\n"
+        )
+        assert lint(src) == []
+
+    def test_file_disable_suppresses_everywhere(self):
+        src = (
+            "# reprolint: disable-file=R1\n"
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])\n"
+            "y = np.random.random()\n"
+        )
+        assert lint(src) == []
+
+    def test_disable_on_unrelated_line_does_not_suppress(self):
+        src = (
+            "import numpy as np\n"
+            "# reprolint: disable=R1\n"
+            "x = np.random.choice([1, 2])\n"
+        )
+        assert [f.rule_id for f in lint(src)] == ["R1"]
+
+
+class TestSelection:
+    def test_select_limits_rules(self):
+        src = R1_SNIPPET + "def f(acc=[]):\n    return acc\n"
+        only_r4 = LintConfig(
+            select=frozenset({"R4"}), restrict_scopes=False
+        )
+        assert {f.rule_id for f in lint(src, only_r4)} == {"R4"}
+
+    def test_ignore_drops_rules(self):
+        src = R1_SNIPPET + "def f(acc=[]):\n    return acc\n"
+        no_r4 = LintConfig(ignore=frozenset({"R4"}), restrict_scopes=False)
+        assert {f.rule_id for f in lint(src, no_r4)} == {"R1"}
+
+
+class TestRunnerAndReporting:
+    def test_run_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text(R1_SNIPPET)
+        findings, errors = run_paths([tmp_path], UNSCOPED)
+        assert errors == []
+        assert [f.rule_id for f in findings] == ["R1"]
+
+    def test_run_paths_reports_syntax_errors(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        findings, errors = run_paths([tmp_path], UNSCOPED)
+        assert findings == []
+        assert len(errors) == 1
+        assert "syntax error" in errors[0]
+        assert exit_code(findings, errors) == 2
+
+    def test_exit_codes(self):
+        clean: list[Finding] = []
+        err = Finding("R1", "error", "p.py", 1, 0, "m")
+        warn = Finding("R1", "warning", "p.py", 1, 0, "m")
+        assert exit_code(clean, []) == 0
+        assert exit_code([warn], []) == 0
+        assert exit_code([err], []) == 1
+        assert exit_code(clean, ["p.py: unreadable"]) == 2
+
+    def test_json_format_round_trips(self):
+        findings = lint(R1_SNIPPET)
+        payload = json.loads(format_findings(findings, "json"))
+        assert payload[0]["rule_id"] == "R1"
+        assert payload[0]["line"] == 2
+
+    def test_text_format_is_location_prefixed(self):
+        text = format_findings(lint(R1_SNIPPET), "text")
+        assert text.startswith("fixture.py:2:")
+        assert "R1" in text
+
+    def test_findings_sorted_by_location(self):
+        src = (
+            "import numpy as np\n"
+            "b = np.random.random()\n"
+            "a = np.random.choice([1])\n"
+        )
+        lines = [f.line for f in lint(src)]
+        assert lines == sorted(lines)
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_violation_exits_one(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(R1_SNIPPET)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr()
+        assert "R1" in out.out
+
+    def test_json_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(R1_SNIPPET)
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["rule_id"] == "R1"
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--select", "R42", str(tmp_path)]) == 2
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
+            assert rule_id in out

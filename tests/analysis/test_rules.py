@@ -1,0 +1,248 @@
+"""Per-rule fixture tests: positive, negative, and suppression cases."""
+
+import textwrap
+
+import repro.analysis  # noqa: F401  (registers the rule pack)
+from repro.analysis import LintConfig, run_source
+
+UNSCOPED = LintConfig(restrict_scopes=False)
+
+
+def ids(source, config=UNSCOPED, path="fixture.py"):
+    return [
+        f.rule_id for f in run_source(textwrap.dedent(source), path, config)
+    ]
+
+
+class TestR1GlobalRng:
+    def test_numpy_global_draw_flagged(self):
+        assert ids(
+            """
+            import numpy as np
+            x = np.random.choice([1, 2, 3])
+            """
+        ) == ["R1"]
+
+    def test_numpy_alias_resolved(self):
+        assert ids(
+            """
+            import numpy
+            x = numpy.random.random()
+            """
+        ) == ["R1"]
+
+    def test_stdlib_global_draw_flagged(self):
+        assert ids(
+            """
+            import random
+            x = random.randint(0, 10)
+            """
+        ) == ["R1"]
+
+    def test_generator_construction_allowed(self):
+        assert ids(
+            """
+            import numpy as np
+            import random
+            rng = np.random.default_rng(7)
+            local = random.Random(7)
+            x = rng.choice([1, 2])
+            y = local.randint(0, 10)
+            """
+        ) == []
+
+    def test_suppression(self):
+        assert ids(
+            """
+            import numpy as np
+            x = np.random.choice([1])  # reprolint: disable=R1 (fixture)
+            """
+        ) == []
+
+
+class TestR2FloatCompare:
+    def test_equality_against_float_flagged(self):
+        assert ids("ok = value == 0.5\n") == ["R2"]
+
+    def test_inequality_against_float_flagged(self):
+        assert ids("ok = 0.0 != residue\n") == ["R2"]
+
+    def test_chained_comparison_flagged(self):
+        assert ids("ok = a < b == 1.5\n") == ["R2"]
+
+    def test_integer_compare_not_flagged(self):
+        assert ids("ok = degree == 0\n") == []
+
+    def test_ordering_compare_not_flagged(self):
+        assert ids("ok = value > 0.5\n") == []
+
+    def test_scoped_to_hot_paths(self):
+        scoped = LintConfig()  # restrict_scopes=True
+        assert ids("ok = v == 0.5\n", scoped, "src/repro/ppr/x.py") == ["R2"]
+        assert ids("ok = v == 0.5\n", scoped, "src/repro/core/x.py") == ["R2"]
+        assert ids("ok = v == 0.5\n", scoped, "src/repro/obs/x.py") == []
+
+    def test_suppression(self):
+        assert ids(
+            "ok = v != 0.0  # reprolint: disable=R2 (exact-zero sentinel)\n"
+        ) == []
+
+
+R3_POSITIVE = """
+def refresh(graph, u, v):
+    view = csr_view(graph)
+    graph.add_edge(u, v)
+    return view.out_neighbors_of(0)
+"""
+
+R3_NEGATIVE = """
+def refresh(graph, u, v):
+    view = csr_view(graph)
+    degree = view.out_deg[0]
+    graph.add_edge(u, v)
+    view = csr_view(graph)
+    return degree, view.out_neighbors_of(0)
+"""
+
+
+class TestR3CsrViewLifetime:
+    def test_stale_use_after_mutation_flagged(self):
+        assert ids(R3_POSITIVE) == ["R3"]
+
+    def test_reacquired_view_not_flagged(self):
+        assert ids(R3_NEGATIVE) == []
+
+    def test_use_before_mutation_not_flagged(self):
+        assert ids(
+            """
+            def peek(graph, u, v):
+                view = csr_view(graph)
+                degree = view.out_deg[0]
+                graph.add_edge(u, v)
+                return degree
+            """
+        ) == []
+
+    def test_apply_update_counts_as_mutation(self):
+        assert ids(
+            """
+            def track(graph, algorithm, update):
+                view = csr_view(graph)
+                algorithm.apply_update(update)
+                return view.n
+            """
+        ) == ["R3"]
+
+    def test_suppression_file_wide(self):
+        src = "# reprolint: disable-file=R3 (fixture)\n" + R3_POSITIVE
+        assert ids(src) == []
+
+
+class TestR4MutableDefault:
+    def test_list_default_flagged(self):
+        assert ids("def f(acc=[]):\n    return acc\n") == ["R4"]
+
+    def test_dict_call_default_flagged(self):
+        assert ids("def f(acc=dict()):\n    return acc\n") == ["R4"]
+
+    def test_none_default_not_flagged(self):
+        assert ids("def f(acc=None):\n    return acc or []\n") == []
+
+    def test_shadowed_builtin_parameter_flagged(self):
+        assert ids("def f(list):\n    return list\n") == ["R4"]
+
+    def test_shadowed_builtin_assignment_flagged(self):
+        assert ids("sum = 3\n") == ["R4"]
+
+    def test_ordinary_names_not_flagged(self):
+        assert ids("def f(items):\n    total = 0\n    return total\n") == []
+
+    def test_suppression(self):
+        assert ids(
+            "def f(acc=[]):  # reprolint: disable=R4 (fixture)\n"
+            "    return acc\n"
+        ) == []
+
+
+# R5 fixtures pin the registry via config so the test is independent of
+# what repro/obs/names.py happens to contain.
+R5_CONFIG = LintConfig(
+    restrict_scopes=False,
+    metric_counters=frozenset({"csr_rebuilds"}),
+    metric_histograms=frozenset({"service.query"}),
+)
+
+
+class TestR5MetricName:
+    def test_unregistered_name_flagged(self):
+        src = 'metrics.histogram("service.qurey").observe(1.0)\n'
+        assert ids(src, R5_CONFIG) == ["R5"]
+
+    def test_wrong_kind_flagged_with_hint(self):
+        src = 'metrics.counter("service.query").inc()\n'
+        findings = run_source(src, "fixture.py", R5_CONFIG)
+        assert [f.rule_id for f in findings] == ["R5"]
+        assert "wrong metric kind" in findings[0].message
+
+    def test_registered_names_not_flagged(self):
+        src = (
+            'metrics.counter("csr_rebuilds").inc()\n'
+            'metrics.histogram("service.query").observe(1.0)\n'
+            'with metrics.time("service.query"):\n'
+            "    pass\n"
+        )
+        assert ids(src, R5_CONFIG) == []
+
+    def test_non_literal_names_ignored(self):
+        assert ids("metrics.counter(name).inc()\n", R5_CONFIG) == []
+
+    def test_default_registry_parses_names_module(self):
+        # without a config override the registry comes from
+        # src/repro/obs/names.py, which registers service.query
+        assert ids(
+            'metrics.histogram("service.query").observe(1.0)\n'
+        ) == []
+
+    def test_suppression(self):
+        src = (
+            'metrics.counter("adhoc").inc()'
+            "  # reprolint: disable=R5 (fixture)\n"
+        )
+        assert ids(src, R5_CONFIG) == []
+
+
+class TestR6UnitSuffix:
+    def test_bare_stem_parameter_flagged(self):
+        assert ids("def f(timeout):\n    return timeout\n") == ["R6"]
+
+    def test_stem_without_suffix_flagged(self):
+        assert ids("queue_delay = 3\n") == ["R6"]
+
+    def test_approved_suffixes_not_flagged(self):
+        assert ids(
+            """
+            arrival_rate = 2.0
+            wait_time = 0.5
+            horizon_s = 10.0
+            poll_interval_s = 0.1
+            sweep_hz = 50.0
+            """
+        ) == []
+
+    def test_paper_notation_exempt(self):
+        assert ids("def f(lambda_q, lambda_u, t_q, t_u, rho):\n    pass\n") == []
+
+    def test_private_names_exempt(self):
+        assert ids("_delay = 1\n") == []
+
+    def test_scoped_to_configured_files(self):
+        scoped = LintConfig()  # restrict_scopes=True
+        assert ids("timeout = 1\n", scoped, "src/repro/core/quota.py") == [
+            "R6"
+        ]
+        assert ids("timeout = 1\n", scoped, "src/repro/core/system.py") == []
+
+    def test_suppression(self):
+        assert ids(
+            "timeout = 1  # reprolint: disable=R6 (fixture)\n"
+        ) == []

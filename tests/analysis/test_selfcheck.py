@@ -1,0 +1,48 @@
+"""reprolint must hold on this repository's own source tree.
+
+The CI gate runs ``python -m repro.analysis src`` and fails the build on
+any finding; this test keeps that contract visible in the test suite and
+proves the gate actually fires when a violation is introduced.
+"""
+
+from pathlib import Path
+
+import repro
+import repro.analysis  # noqa: F401  (registers the rule pack)
+from repro.analysis import LintConfig, exit_code, run_paths
+from repro.analysis.__main__ import main
+
+SRC = Path(repro.__file__).resolve().parent
+
+
+class TestSelfCheck:
+    def test_src_tree_is_clean(self):
+        findings, errors = run_paths([SRC])
+        assert errors == []
+        assert findings == [], "\n".join(f.format_text() for f in findings)
+        assert exit_code(findings, errors) == 0
+
+    def test_cli_exits_zero_on_src(self):
+        assert main([str(SRC)]) == 0
+
+    def test_gate_fires_on_injected_violation(self, tmp_path):
+        # a copy of a real module with one R1 violation injected must
+        # flip the exit code to non-zero
+        victim = SRC / "core" / "seed.py"
+        patched = tmp_path / "seed.py"
+        patched.write_text(
+            victim.read_text(encoding="utf-8")
+            + "\n\nimport numpy as _np\n_noise = _np.random.random()\n",
+            encoding="utf-8",
+        )
+        assert main([str(patched)]) == 1
+
+    def test_scoped_rules_cover_their_targets(self):
+        # the R2/R6 scoping in LintConfig must keep matching the tree
+        # layout; if these files move, the lint gate silently loses them
+        config = LintConfig()
+        for name in config.unit_suffix_files:
+            matches = list(SRC.rglob(name))
+            assert matches, f"R6 target {name} missing from src tree"
+        for part in config.float_compare_parts:
+            assert (SRC / part).is_dir(), f"R2 scope {part}/ missing"
