@@ -93,6 +93,7 @@ class LintConfig:
     #: override for the metric-name registry (None = parse repro.obs.names)
     metric_counters: frozenset[str] | None = None
     metric_histograms: frozenset[str] | None = None
+    metric_gauges: frozenset[str] | None = None
 
 
 class LintModule:

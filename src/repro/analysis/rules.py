@@ -414,7 +414,13 @@ class MetricNameRule(Rule):
     )
     example = 'metrics.histogram("service.qurey")  ->  "service.query"'
 
-    METHODS = {"counter": "COUNTERS", "histogram": "HISTOGRAMS", "time": "HISTOGRAMS"}
+    METHODS = {
+        "counter": "COUNTERS",
+        "histogram": "HISTOGRAMS",
+        "time": "HISTOGRAMS",
+        "gauge": "GAUGES",
+    }
+    KINDS = ("COUNTERS", "HISTOGRAMS", "GAUGES")
 
     _registry_cache: dict[str, frozenset[str]] | None = None
 
@@ -427,8 +433,7 @@ class MetricNameRule(Rule):
             Path(__file__).resolve().parent.parent / "obs" / "names.py"
         )
         registry: dict[str, frozenset[str]] = {
-            "COUNTERS": frozenset(),
-            "HISTOGRAMS": frozenset(),
+            kind: frozenset() for kind in cls.KINDS
         }
         try:
             tree = ast.parse(names_path.read_text(encoding="utf-8"))
@@ -461,6 +466,8 @@ class MetricNameRule(Rule):
             return config.metric_counters
         if kind == "HISTOGRAMS" and config.metric_histograms is not None:
             return config.metric_histograms
+        if kind == "GAUGES" and config.metric_gauges is not None:
+            return config.metric_gauges
         return self.load_registry()[kind]
 
     def check(self, module: LintModule) -> Iterator[Finding]:
@@ -481,12 +488,16 @@ class MetricNameRule(Rule):
             registered = self._registry_for(module, kind)
             if first.value in registered:
                 continue
-            other = "HISTOGRAMS" if kind == "COUNTERS" else "COUNTERS"
-            hint = (
-                f" (registered as a {other.lower()[:-1]} — wrong metric kind)"
-                if first.value in self._registry_for(module, other)
-                else "; register it in repro/obs/names.py"
-            )
+            hint = "; register it in repro/obs/names.py"
+            for other in self.KINDS:
+                if other == kind:
+                    continue
+                if first.value in self._registry_for(module, other):
+                    hint = (
+                        f" (registered as a {other.lower()[:-1]} — "
+                        "wrong metric kind)"
+                    )
+                    break
             yield self.finding(
                 module,
                 first,

@@ -22,11 +22,24 @@ the budget is exceeded — Algorithm 2's inner loop.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.graph.digraph import DynamicGraph
 from repro.graph.updates import EdgeUpdate
-from repro.ppr.base import DynamicPPRAlgorithm
+
+
+class UpdateApplier(Protocol):
+    """Anything that can execute one edge arrival.
+
+    Structurally satisfied by every
+    :class:`~repro.ppr.base.DynamicPPRAlgorithm` (graph + index
+    maintenance) and by the lightweight graph-only adapters the
+    queueing simulators use for modeled replays.
+    """
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate: ...
 
 
 def degree_adjustment_factor(alpha: float, d_out_after: int) -> float:
@@ -83,9 +96,16 @@ class SeedQueue:
         self.graph = graph
         self.alpha = alpha
         self.epsilon_r = epsilon_r
-        self._pending: list[PendingUpdate] = []
+        self._pending: deque[PendingUpdate] = deque()
         # net out-degree delta per node from pending (unapplied) updates
         self._degree_delta: dict[int, int] = {}
+        # (u, v) pairs toggled an *odd* number of times by the pending
+        # queue — O(1) pending-existence lookups regardless of depth
+        self._parity: set[tuple[int, int]] = set()
+        # running sum of the per-item Lemma 2 factors (reset to an exact
+        # 0.0 whenever the queue empties, so float drift cannot build up
+        # across flush cycles)
+        self._factor_sum = 0.0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -95,30 +115,65 @@ class SeedQueue:
     def pending(self) -> list[PendingUpdate]:
         return list(self._pending)
 
+    def peek(self) -> PendingUpdate | None:
+        """The oldest pending update, or None — O(1), no copy."""
+        return self._pending[0] if self._pending else None
+
     def _pending_out_degree(self, node: int) -> int:
         base = self.graph.out_degree(node) if self.graph.has_node(node) else 0
         return base + self._degree_delta.get(node, 0)
 
     def _edge_exists_pending(self, u: int, v: int) -> bool:
-        """Edge existence after the pending queue would be applied."""
-        exists = self.graph.has_edge(u, v)
-        for item in self._pending:
-            if (item.update.u, item.update.v) == (u, v):
-                exists = not exists
-        return exists
+        """Edge existence after the pending queue would be applied.
+
+        The parity set makes this O(1); the seed implementation scanned
+        the whole pending list on every :meth:`add`, turning sustained
+        overload — exactly the regime Seed targets — into O(n^2) queue
+        growth.
+        """
+        return self.graph.has_edge(u, v) ^ ((u, v) in self._parity)
+
+    def _toggle_parity(self, u: int, v: int) -> None:
+        key = (u, v)
+        if key in self._parity:
+            self._parity.remove(key)
+        else:
+            self._parity.add(key)
+
+    def _pop_head(self) -> PendingUpdate:
+        """Remove the head item, unwinding overlay/parity bookkeeping.
+
+        Only called after the head's update has been applied (or is
+        being deliberately discarded): popping keeps every derived
+        structure consistent with the *remaining* pending suffix.
+        """
+        item = self._pending.popleft()
+        node = item.update.u
+        remaining = self._degree_delta.get(node, 0) - item.delta
+        if remaining:
+            self._degree_delta[node] = remaining
+        else:
+            self._degree_delta.pop(node, None)
+        self._toggle_parity(item.update.u, item.update.v)
+        self._factor_sum -= item.factor
+        if not self._pending:
+            self._factor_sum = 0.0
+        return item
 
     def add(self, update: EdgeUpdate, arrival: float = 0.0) -> PendingUpdate:
         """Defer an update; precompute its Lemma 2 factor.
 
         The factor uses d_out(G', u) where G' is the graph state after
         the pending prefix plus this update — tracked with the degree
-        overlay, never by mutating the live graph.
+        overlay, never by mutating the live graph.  Amortized O(1) in
+        the pending-queue length.
         """
         u, v = update.u, update.v
         inserting = not self._edge_exists_pending(u, v)
         delta = 1 if inserting else -1
         d_after = max(self._pending_out_degree(u) + delta, 0)
         self._degree_delta[u] = self._degree_delta.get(u, 0) + delta
+        self._toggle_parity(u, v)
         item = PendingUpdate(
             update,
             arrival,
@@ -126,6 +181,7 @@ class SeedQueue:
             delta,
         )
         self._pending.append(item)
+        self._factor_sum += item.factor
         return item
 
     def error_bound(self, source: int) -> float:
@@ -134,7 +190,7 @@ class SeedQueue:
         if not self._pending:
             return 0.0
         excess = source_excess(self.alpha, self._pending_out_degree(source))
-        return excess * sum(item.factor for item in self._pending)
+        return excess * self._factor_sum
 
     def should_flush(self, source: int) -> bool:
         """True when the query must wait for the pending updates."""
@@ -145,33 +201,51 @@ class SeedQueue:
         return self.error_bound(source) > self.epsilon_r
 
     def flush(
-        self, algorithm: DynamicPPRAlgorithm
+        self, algorithm: UpdateApplier
     ) -> list[PendingUpdate]:
-        """Execute every pending update through ``algorithm`` (line 12)."""
-        flushed = self._pending
-        self._pending = []
-        self._degree_delta = {}
-        for item in flushed:
-            algorithm.apply_update(item.update)
+        """Execute every pending update through ``algorithm`` (line 12).
+
+        Exception-safe: each update is applied *before* it is popped,
+        so a failure mid-loop surfaces (propagates) with the applied
+        prefix removed, the failing update still at the head, and the
+        degree overlay/parity set consistent with the remaining suffix.
+        The seed implementation cleared the queue first; an exception
+        then silently dropped every remaining update and desynced the
+        overlay from the graph.
+        """
+        flushed: list[PendingUpdate] = []
+        while self._pending:
+            item = self._pending[0]
+            algorithm.apply_update(item.update)  # may raise; see above
+            self._pop_head()
+            flushed.append(item)
         return flushed
 
     def flush_one(
-        self, algorithm: DynamicPPRAlgorithm
+        self, algorithm: UpdateApplier
     ) -> PendingUpdate | None:
         """Execute only the oldest pending update (idle-time draining).
 
         Deferral exists to let queries overtake updates when the server
         is contended; while the server idles, applying pending updates
-        costs queries nothing and keeps the graph fresh.
+        costs queries nothing and keeps the graph fresh.  Apply-then-pop
+        like :meth:`flush`: a failed update stays queued.
         """
         if not self._pending:
             return None
-        item = self._pending.pop(0)
-        node = item.update.u
-        remaining = self._degree_delta.get(node, 0) - item.delta
-        if remaining:
-            self._degree_delta[node] = remaining
-        else:
-            self._degree_delta.pop(node, None)
-        algorithm.apply_update(item.update)
+        item = self._pending[0]
+        algorithm.apply_update(item.update)  # may raise; item stays queued
+        self._pop_head()
         return item
+
+    def discard_one(self) -> PendingUpdate | None:
+        """Drop the head update *without* applying it.
+
+        Fault-recovery hook for the serving runtime: after
+        :meth:`flush` / :meth:`flush_one` surfaces a failing update, the
+        caller can discard it (keeping overlay/parity consistent with
+        the remaining suffix) and continue serving in degraded mode.
+        """
+        if not self._pending:
+            return None
+        return self._pop_head()

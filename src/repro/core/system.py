@@ -20,7 +20,7 @@ import time
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TypeVar
+from typing import TYPE_CHECKING, TypeVar
 
 from repro.core.quota import QuotaController, QuotaDecision
 from repro.core.seed import SeedQueue
@@ -28,6 +28,9 @@ from repro.obs import MetricsRegistry, get_metrics
 from repro.ppr.base import DynamicPPRAlgorithm, PPRVector
 from repro.queueing.simulator import CompletedRequest, SimulationResult
 from repro.queueing.workload import QUERY, UPDATE, Request, Workload
+
+if TYPE_CHECKING:  # runtime import stays lazy (serving imports core)
+    from repro.serving.runtime import ServingRuntime
 
 QueryCallback = Callable[[Request, PPRVector, int], None]
 
@@ -140,6 +143,36 @@ class QuotaSystem:
         self.algorithm.set_hyperparameters(**decision.beta)
         self.decisions.append(decision)
         return decision
+
+    # ------------------------------------------------------------------
+    def make_runtime(
+        self,
+        workers: int = 2,
+        queue_capacity: int = 256,
+        deadline_s: float | None = None,
+        drain_idle: bool = True,
+    ) -> "ServingRuntime":
+        """Build a live :class:`~repro.serving.ServingRuntime` sharing
+        this system's algorithm, controller, Seed budget, and metrics.
+
+        ``process`` replays a workload on a virtual clock; the runtime
+        returned here executes the same policy — Seed-aware dispatch,
+        idle draining, Quota reconfiguration — on real threads, so a
+        ``configure_static`` decision made here drives measured
+        serving directly.
+        """
+        from repro.serving.runtime import ServingRuntime
+
+        return ServingRuntime(
+            self.algorithm,
+            workers=workers,
+            epsilon_r=self.epsilon_r,
+            queue_capacity=queue_capacity,
+            deadline_s=deadline_s,
+            controller=self.controller,
+            drain_idle=drain_idle,
+            metrics=self.metrics,
+        )
 
     # ------------------------------------------------------------------
     def process(

@@ -9,17 +9,20 @@ behind the paper's Table I style cost breakdowns.
 
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
     reset_metrics,
 )
-from repro.obs.names import ALL_METRICS, COUNTERS, HISTOGRAMS
+from repro.obs.names import ALL_METRICS, COUNTERS, GAUGES, HISTOGRAMS
 
 __all__ = [
     "ALL_METRICS",
     "COUNTERS",
     "Counter",
+    "GAUGES",
+    "Gauge",
     "HISTOGRAMS",
     "Histogram",
     "MetricsRegistry",

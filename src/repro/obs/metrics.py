@@ -53,6 +53,43 @@ class Counter:
         return f"Counter({self.name}={self.value})"
 
 
+class Gauge:
+    """A point-in-time level (e.g. admission-queue depth).
+
+    Unlike :class:`Counter` it moves in both directions; the high-water
+    mark is retained so reports can state the worst level a replay
+    reached without sampling.
+    """
+
+    __slots__ = ("name", "value", "high_water")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        self.value = value
+        if value > self.high_water:
+            self.high_water = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self.high_water = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Gauge({self.name}={self.value}, high_water={self.high_water})"
+        )
+
+
 class Histogram:
     """Streaming summary of an observed quantity (e.g. service seconds).
 
@@ -126,11 +163,12 @@ class Histogram:
 class MetricsRegistry:
     """Named counters and histograms, created on first access."""
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "_gauges")
 
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -144,6 +182,12 @@ class MetricsRegistry:
         if histogram is None:
             histogram = self._histograms[name] = Histogram(name)
         return histogram
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -167,6 +211,10 @@ class MetricsRegistry:
                 name: h.summary()
                 for name, h in sorted(self._histograms.items())
             },
+            "gauges": {
+                name: {"value": g.value, "high_water": g.high_water}
+                for name, g in sorted(self._gauges.items())
+            },
         }
 
     def reset(self) -> None:
@@ -176,11 +224,14 @@ class MetricsRegistry:
             counter.reset()
         for histogram in self._histograms.values():
             histogram.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(counters={len(self._counters)}, "
-            f"histograms={len(self._histograms)})"
+            f"histograms={len(self._histograms)}, "
+            f"gauges={len(self._gauges)})"
         )
 
 

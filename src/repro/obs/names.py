@@ -16,7 +16,11 @@ Naming conventions
 ------------------
 * ``csr_*``         — counters of the incremental CSR maintenance layer.
 * ``service.*``     — per-operation service-time histograms (seconds)
-  recorded by :class:`repro.core.system.QuotaSystem`.
+  recorded by :class:`repro.core.system.QuotaSystem` and the concurrent
+  serving runtime (:mod:`repro.serving`).
+* ``serving.*``     — admission/shedding accounting of the concurrent
+  serving runtime (queue-depth gauge, wait/response histograms,
+  shed/timeout/fault counters).
 * ``calibration.*`` — tau-calibration accounting.
 
 To add a metric: register its name in the matching set below, then use
@@ -33,6 +37,9 @@ COUNTERS = frozenset(
         "csr_rebuilds",
         "csr_compactions",
         "calibration.runs",
+        "serving.shed",
+        "serving.timeout",
+        "serving.faults",
     }
 )
 
@@ -44,7 +51,16 @@ HISTOGRAMS = frozenset(
         "service.flush",
         "service.reconfigure",
         "calibration.probe",
+        "serving.wait",
+        "serving.response",
     }
 )
 
-ALL_METRICS = COUNTERS | HISTOGRAMS
+#: point-in-time levels (may go up and down)
+GAUGES = frozenset(
+    {
+        "serving.queue_depth",
+    }
+)
+
+ALL_METRICS = COUNTERS | HISTOGRAMS | GAUGES

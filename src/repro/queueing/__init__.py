@@ -23,6 +23,7 @@ from repro.queueing.arrivals import (
 from repro.queueing.simulator import (
     CompletedRequest,
     FCFSQueueSimulator,
+    MeasuredParallelWarning,
     SimulationResult,
 )
 from repro.queueing.theory import (
@@ -42,15 +43,22 @@ from repro.queueing.workload import (
     generate_workload,
 )
 
+# imported last: seed_simulator pulls in repro.core (Seed), which in
+# turn imports repro.queueing.simulator/workload — both fully loaded by
+# this point, keeping the package import acyclic
+from repro.queueing.seed_simulator import SeedAwareQueueSimulator  # noqa: E402
+
 __all__ = [
     "ArrivalProcess",
     "CompletedRequest",
     "FCFSQueueSimulator",
+    "MeasuredParallelWarning",
     "GammaArrivals",
     "GeometricArrivals",
     "NormalArrivals",
     "PoissonArrivals",
     "Request",
+    "SeedAwareQueueSimulator",
     "SimulationResult",
     "TraceArrivals",
     "UniformArrivals",

@@ -16,6 +16,9 @@ finish - arrival, the quantity every experiment reports.
 
 from __future__ import annotations
 
+import heapq
+import math
+import warnings
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass
 
@@ -23,6 +26,19 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.queueing.workload import QUERY, Request, Workload
+
+
+class MeasuredParallelWarning(UserWarning):
+    """A k > 1 simulation ran without declaring ``modeled=True``.
+
+    With multiple virtual servers only the *timeline* is parallel: a
+    ``service_fn`` that actually executes work (measured mode) still
+    runs sequentially in this process, so presenting its output as a
+    parallel measurement mislabels the result.  Pass ``modeled=True``
+    to assert the service durations are modeled (cost-function) values,
+    or use :class:`repro.serving.ServingRuntime` for genuinely
+    concurrent measured execution.
+    """
 
 
 @dataclass(frozen=True, slots=True)
@@ -138,6 +154,23 @@ class SimulationResult:
 ServiceFn = Callable[[Request], float]
 
 
+def validate_service(service: float, request: Request) -> float:
+    """Reject negative / NaN / infinite service durations.
+
+    The seed implementation only rejected ``service < 0``; a NaN or
+    inf (a cost model dividing by a zero rate, an uninitialized probe)
+    passed the check and silently poisoned every later finish time and
+    all derived metrics — NaN compares false against everything, so
+    the Lindley recursion never noticed.
+    """
+    if service < 0 or not math.isfinite(service):
+        raise ValueError(
+            f"service_fn returned invalid duration {service!r} "
+            f"for request {request!r}"
+        )
+    return service
+
+
 class FCFSQueueSimulator:
     """Replays a workload through a single FCFS server in virtual time.
 
@@ -154,17 +187,30 @@ class FCFSQueueSimulator:
         Number of parallel servers (default 1, the paper's setting).
         With k > 1 each request is dispatched FCFS to the earliest-free
         server — the substrate for the "parallel PPR processing"
-        future-work direction.  Note that with k > 1 the *modeled*
-        service mode is the sensible one: measured execution is still
-        sequential in this process, only the virtual timeline is
-        parallel.
+        future-work direction.
+    modeled:
+        Declare that ``service_fn`` returns *modeled* (cost-function)
+        durations rather than executing work.  With ``servers > 1``
+        this declaration matters: measured execution is still
+        sequential in this process — only the virtual timeline is
+        parallel — so a k > 1 run without ``modeled=True`` emits
+        :class:`MeasuredParallelWarning` instead of letting benches
+        mislabel a sequential-execution timeline as parallel.  For
+        genuinely concurrent measured serving use
+        :class:`repro.serving.ServingRuntime`.
     """
 
-    def __init__(self, service_fn: ServiceFn, servers: int = 1) -> None:
+    def __init__(
+        self,
+        service_fn: ServiceFn,
+        servers: int = 1,
+        modeled: bool = False,
+    ) -> None:
         if servers < 1:
             raise ValueError("servers must be >= 1")
         self._service_fn = service_fn
         self._servers = servers
+        self._modeled = modeled
 
     def run(
         self,
@@ -183,8 +229,16 @@ class FCFSQueueSimulator:
             # it), inflating the load metrics above 1 for an
             # underloaded system
             horizon = t_end
-        import heapq
-
+        if self._servers > 1 and not self._modeled:
+            warnings.warn(
+                "FCFSQueueSimulator with servers > 1 executes service_fn "
+                "sequentially; only the virtual timeline is parallel. "
+                "Pass modeled=True to declare modeled service durations, "
+                "or use repro.serving.ServingRuntime for measured "
+                "concurrency.",
+                MeasuredParallelWarning,
+                stacklevel=2,
+            )
         completed: list[CompletedRequest] = []
         # min-heap of per-server next-free times
         free_at = [0.0] * self._servers
@@ -192,11 +246,7 @@ class FCFSQueueSimulator:
         for request in requests:
             earliest = heapq.heappop(free_at)
             start = max(request.arrival, earliest)
-            service = float(self._service_fn(request))
-            if service < 0:
-                raise ValueError(
-                    f"service_fn returned negative duration {service}"
-                )
+            service = validate_service(float(self._service_fn(request)), request)
             finish = start + service
             completed.append(CompletedRequest(request, start, finish, service))
             heapq.heappush(free_at, finish)

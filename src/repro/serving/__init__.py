@@ -1,0 +1,58 @@
+"""Concurrent serving runtime for PPR queries and edge updates.
+
+The paper's replay layer (:class:`~repro.core.system.QuotaSystem`, the
+queueing simulators) advances a *virtual* clock in one thread; this
+package is the measured counterpart: a real worker pool executing
+queries concurrently over snapshot-isolated CSR views while a single
+writer applies edge updates through the incremental CSR delta log.
+
+Components
+----------
+* :class:`~repro.serving.rwlock.RWLock` — write-preferring
+  readers-writer lock; queries share, the writer excludes.
+* :class:`~repro.serving.admission.AdmissionQueue` — bounded FIFO with
+  shed-on-full backpressure and a queue-depth gauge.
+* :class:`~repro.serving.runtime.ServingRuntime` — the runtime itself:
+  Seed-aware dispatch (queries overtake deferred updates within the
+  epsilon_r budget), idle-time draining, per-request deadline budgets,
+  graceful degradation to strict FCFS when an update faults, and live
+  reconfiguration from :class:`~repro.core.quota.QuotaController`
+  decisions.
+
+See docs/DEVELOPMENT.md ("The concurrent serving runtime") for the
+snapshot-isolation contract and the backpressure knobs.
+"""
+
+from repro.serving.admission import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    AdmissionQueue,
+    Ticket,
+)
+from repro.serving.runtime import (
+    FAILED,
+    OK,
+    SHED,
+    TIMEOUT,
+    QueryFn,
+    ServedRequest,
+    ServingReport,
+    ServingRuntime,
+)
+from repro.serving.rwlock import RWLock
+
+__all__ = [
+    "FAILED",
+    "OK",
+    "SHED",
+    "SHED_DEADLINE",
+    "SHED_QUEUE_FULL",
+    "TIMEOUT",
+    "AdmissionQueue",
+    "QueryFn",
+    "RWLock",
+    "ServedRequest",
+    "ServingReport",
+    "ServingRuntime",
+    "Ticket",
+]

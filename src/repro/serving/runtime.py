@@ -1,0 +1,674 @@
+"""ServingRuntime: concurrent query/update execution with QoS controls.
+
+Where :class:`~repro.core.system.QuotaSystem` *models* serving on a
+virtual clock in one thread, this runtime *executes* it: a pool of
+worker threads serves SSPPR queries over snapshot-isolated CSR views
+while edge updates funnel through a single logical writer that patches
+the incremental CSR delta log (:mod:`repro.ppr.csr`).
+
+Concurrency discipline
+----------------------
+* **Snapshot isolation (epoch granularity).**  All graph mutation —
+  applying an update, flushing the Seed queue, rebuilding an index on
+  reconfiguration — happens under the exclusive side of a
+  write-preferring :class:`~repro.serving.rwlock.RWLock`; immediately
+  after mutating, and still under the lock, the writer catches the CSR
+  store up (``csr_view``).  Query workers hold the shared side, so
+  every ``csr_view`` call they make is a pure cache hit on an
+  immutable-for-the-duration snapshot: no torn adjacency reads, and
+  the graph version observed under the read lock uniquely identifies
+  the snapshot a query ran against (the equivalence-oracle hook the
+  stress tests use).
+* **Seed-aware dispatch.**  With ``epsilon_r > 0`` updates are
+  deferred into a :class:`~repro.core.seed.SeedQueue` at admission
+  cost only; queries overtake them until the Lemma 2 bound for their
+  source exceeds the budget, at which point the dispatching worker
+  becomes the writer and flushes.  Idle workers drain deferred updates
+  one at a time (``flush_one``) whenever the admission queue is empty.
+* **Backpressure and deadlines.**  Admission is bounded
+  (:class:`~repro.serving.admission.AdmissionQueue`); submission sheds
+  when the queue is full, and a query popped after its deadline budget
+  expired is dropped with a ``serving.timeout`` count instead of
+  wasting a worker on an answer nobody is waiting for.  Updates are
+  never deadline-dropped — they are state, not answers.
+* **Graceful degradation.**  If an update application fails the
+  failing update is surfaced as a ``failed`` record (and the
+  ``serving.faults`` counter), discarded from the Seed queue with the
+  degree overlay kept consistent, and the runtime falls back to strict
+  FCFS (no further reordering) — correctness of what remains beats
+  optimizing a queue whose invariants just proved shaky.
+
+The GIL caveat, stated honestly: CPython threads interleave rather
+than parallelize pure-Python bytecode, so measured speedups from
+``workers > 1`` come only from the numpy-released portions of query
+work.  The architecture (snapshot views + single writer) is what a
+free-threaded or multi-process deployment needs either way, and the
+runtime reports measured numbers — it never presents an interleaved
+timeline as parallel (that is the simulator's
+:class:`~repro.queueing.simulator.MeasuredParallelWarning` contract).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.quota import QuotaController, QuotaDecision
+from repro.core.seed import SeedQueue
+from repro.graph.digraph import DynamicGraph
+from repro.graph.updates import EdgeUpdate
+from repro.obs import MetricsRegistry, get_metrics
+from repro.ppr.base import DynamicPPRAlgorithm
+from repro.ppr.csr import csr_view
+from repro.queueing.workload import QUERY, UPDATE, Request, Workload
+from repro.serving.admission import (
+    SHED_DEADLINE,
+    SHED_QUEUE_FULL,
+    AdmissionQueue,
+    Ticket,
+)
+from repro.serving.rwlock import RWLock
+
+#: request completed normally
+OK = "ok"
+#: rejected at admission (bounded queue full)
+SHED = "shed"
+#: dropped after its deadline budget expired while queued
+TIMEOUT = "timeout"
+#: execution raised; the error is carried on the record
+FAILED = "failed"
+
+#: a query executor over the live graph — must be a pure function of
+#: (graph snapshot, source) to be safely shared across workers
+QueryFn = Callable[[DynamicGraph, int], object]
+
+
+@dataclass(slots=True)
+class ServedRequest:
+    """Outcome of one submitted request (wall-clock timings)."""
+
+    request: Request
+    status: str
+    submitted_s: float
+    started_s: float
+    finished_s: float
+    result: object | None = None
+    #: graph version the operation observed/produced (-1 when shed)
+    version: int = -1
+    worker: int = -1
+    error: str | None = None
+    shed_reason: str | None = None
+
+    @property
+    def kind(self) -> str:
+        return self.request.kind
+
+    @property
+    def waiting_s(self) -> float:
+        return max(self.started_s - self.submitted_s, 0.0)
+
+    @property
+    def response_s(self) -> float:
+        return max(self.finished_s - self.submitted_s, 0.0)
+
+
+@dataclass(slots=True)
+class ServingReport:
+    """Aggregate of one :meth:`ServingRuntime.serve` replay."""
+
+    records: list[ServedRequest]
+    wall_s: float
+    workers: int
+    degraded: bool
+    decisions: list[QuotaDecision] = field(default_factory=list)
+
+    def of_status(self, status: str) -> list[ServedRequest]:
+        return [r for r in self.records if r.status == status]
+
+    def completed_queries(self) -> list[ServedRequest]:
+        return [
+            r for r in self.records if r.kind == QUERY and r.status == OK
+        ]
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.of_status(SHED))
+
+    @property
+    def timeout_count(self) -> int:
+        return len(self.of_status(TIMEOUT))
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.of_status(FAILED))
+
+    def query_throughput(self) -> float:
+        """Completed queries per wall-clock second."""
+        if self.wall_s <= 0:
+            return 0.0
+        return len(self.completed_queries()) / self.wall_s
+
+    def mean_query_response_s(self) -> float:
+        responses = [r.response_s for r in self.completed_queries()]
+        return sum(responses) / len(responses) if responses else 0.0
+
+
+class ServingRuntime:
+    """A worker pool serving PPR queries and edge updates concurrently.
+
+    Parameters
+    ----------
+    algorithm:
+        The PPR algorithm instance (owns the graph; its
+        ``apply_update`` is the single-writer mutation path).
+    workers:
+        Worker-thread count (k of the parallel-serving experiments).
+    epsilon_r:
+        Seed reorder budget; 0 keeps strict FCFS (updates apply
+        inline, in admission order).
+    queue_capacity:
+        Admission-queue bound; submissions beyond it are shed.
+    deadline_s:
+        Default per-query deadline budget in seconds (None = none).
+        A query still waiting past its budget is dropped.
+    controller:
+        Optional :class:`~repro.core.quota.QuotaController`;
+        :meth:`reconfigure` applies its decisions to the live runtime
+        under the write lock.
+    query_fn:
+        Pure query executor ``(graph, source) -> result`` shared by
+        all workers.  When omitted, ``algorithm.query`` is used under
+        an internal mutex — algorithm instances keep per-query scratch
+        state (timers, RNG), so unguarded sharing would race; the
+        mutex trades query overlap for safety on the default path.
+    drain_idle:
+        Apply deferred updates while the admission queue is empty.
+    idle_tick_s:
+        Worker poll interval when idle (also bounds stop latency).
+    metrics:
+        Observability registry (defaults to the process-wide one).
+    """
+
+    def __init__(
+        self,
+        algorithm: DynamicPPRAlgorithm,
+        *,
+        workers: int = 2,
+        epsilon_r: float = 0.0,
+        queue_capacity: int = 256,
+        deadline_s: float | None = None,
+        controller: QuotaController | None = None,
+        query_fn: QueryFn | None = None,
+        drain_idle: bool = True,
+        idle_tick_s: float = 0.02,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.algorithm = algorithm
+        self.workers = workers
+        self.epsilon_r = epsilon_r
+        self.deadline_s = deadline_s
+        self.controller = controller
+        self.drain_idle = drain_idle
+        self.idle_tick_s = idle_tick_s
+        self.metrics = metrics if metrics is not None else get_metrics()
+        self.decisions: list[QuotaDecision] = []
+        self.records: list[ServedRequest] = []
+
+        self._query_fn = query_fn
+        self._rwlock = RWLock()
+        self._seed_lock = threading.Lock()
+        self._records_lock = threading.Lock()
+        self._algo_lock = threading.Lock()
+        self._admission = AdmissionQueue(queue_capacity, self.metrics)
+        self._seed_queue = SeedQueue(
+            algorithm.graph, algorithm.params.alpha, epsilon_r
+        )
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._degraded = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return bool(self._threads) and not self._stop.is_set()
+
+    @property
+    def degraded(self) -> bool:
+        """True once a fault forced the fallback to strict FCFS."""
+        return self._degraded
+
+    def start(self) -> "ServingRuntime":
+        if self._threads:
+            raise RuntimeError("runtime already started")
+        self._stop.clear()
+        # warm the CSR store so the first queries hit a ready snapshot
+        with self._rwlock.write_locked():
+            csr_view(self.algorithm.graph)
+        for wid in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(wid,),
+                name=f"serving-worker-{wid}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout_s: float = 30.0, flush: bool = True) -> None:
+        """Stop the pool; optionally apply still-deferred updates."""
+        if flush:
+            self.drain()
+        self._stop.set()
+        deadline = time.monotonic() + timeout_s
+        for thread in self._threads:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            thread.join(remaining)
+            if thread.is_alive():
+                raise RuntimeError(
+                    f"worker {thread.name} failed to stop in {timeout_s}s"
+                )
+        self._threads.clear()
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: Request, deadline_s: float | None = None
+    ) -> bool:
+        """Admit one request; False when shed at the admission queue.
+
+        ``deadline_s`` overrides the runtime default budget for this
+        request (queries only; updates never carry deadlines).
+        """
+        if not self._threads:
+            raise RuntimeError("runtime is not started")
+        now = time.perf_counter()
+        budget = deadline_s if deadline_s is not None else self.deadline_s
+        deadline = (
+            now + budget
+            if budget is not None and request.kind == QUERY
+            else None
+        )
+        ticket = Ticket(request, now, deadline)
+        if self._admission.offer(ticket):
+            return True
+        self._record(
+            ServedRequest(
+                request,
+                SHED,
+                now,
+                now,
+                now,
+                shed_reason=SHED_QUEUE_FULL,
+            )
+        )
+        return False
+
+    def submit_query(
+        self, source: int, deadline_s: float | None = None
+    ) -> bool:
+        return self.submit(
+            Request(time.perf_counter(), QUERY, source=source), deadline_s
+        )
+
+    def submit_update(self, update: EdgeUpdate) -> bool:
+        return self.submit(Request(time.perf_counter(), UPDATE, update=update))
+
+    def drain(self) -> None:
+        """Block until every admitted request finished, then flush the
+        still-deferred updates."""
+        if self._threads:
+            self._admission.join()
+        self._flush_deferred(forced=True)
+
+    # ------------------------------------------------------------------
+    # convenience replay
+    # ------------------------------------------------------------------
+    def serve(self, workload: Workload | list[Request]) -> ServingReport:
+        """Feed ``workload`` through the pool as fast as it admits.
+
+        Closed-loop replay (arrival times are ignored): measures the
+        saturation throughput and per-request latencies of the real
+        execution.  Returns a report over the records this call added.
+        """
+        first_record = len(self.records)
+        started = time.perf_counter()
+        for request in workload:
+            self.submit(request)
+        self.drain()
+        wall = time.perf_counter() - started
+        with self._records_lock:
+            records = self.records[first_record:]
+        return ServingReport(
+            records=records,
+            wall_s=wall,
+            workers=self.workers,
+            degraded=self._degraded,
+            decisions=list(self.decisions),
+        )
+
+    # ------------------------------------------------------------------
+    # live reconfiguration (Quota -> runtime)
+    # ------------------------------------------------------------------
+    def reconfigure(
+        self, lambda_q: float, lambda_u: float, quick: bool = True
+    ) -> QuotaDecision | None:
+        """Solve for beta at the given rates and apply it live.
+
+        The controller's solve runs out-of-band (no lock held); only
+        applying the hyperparameters — an index rebuild for
+        index-based algorithms — excludes queries, mirroring
+        ``QuotaSystem.charge_apply``.
+        """
+        if self.controller is None:
+            return None
+        warm = self.algorithm.get_hyperparameters()
+        decision = self.controller.configure(
+            lambda_q, lambda_u, warm_start=warm, quick=quick
+        )
+        with self._rwlock.write_locked():
+            apply_started = time.perf_counter()
+            self.algorithm.set_hyperparameters(**decision.beta)
+            csr_view(self.algorithm.graph)
+            self.metrics.histogram("service.reconfigure").observe(
+                time.perf_counter() - apply_started
+            )
+        self.decisions.append(decision)
+        return decision
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_updates(self) -> int:
+        with self._seed_lock:
+            return len(self._seed_queue)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._admission.depth
+
+    # ------------------------------------------------------------------
+    # worker internals
+    # ------------------------------------------------------------------
+    def _record(self, record: ServedRequest) -> None:
+        with self._records_lock:
+            self.records.append(record)
+
+    def _worker_loop(self, wid: int) -> None:
+        while not self._stop.is_set():
+            ticket = self._admission.take(self.idle_tick_s)
+            if ticket is None:
+                if self.drain_idle:
+                    self._idle_drain(wid)
+                continue
+            try:
+                self._process(ticket, wid)
+            except Exception:  # pragma: no cover - defensive; never die
+                self._record(
+                    ServedRequest(
+                        ticket.request,
+                        FAILED,
+                        ticket.submitted_s,
+                        time.perf_counter(),
+                        time.perf_counter(),
+                        worker=wid,
+                        error=traceback.format_exc(limit=3),
+                    )
+                )
+                self.metrics.counter("serving.faults").inc()
+            finally:
+                self._admission.task_done()
+
+    def _process(self, ticket: Ticket, wid: int) -> None:
+        request = ticket.request
+        now = time.perf_counter()
+        if request.kind == QUERY and ticket.expired(now):
+            self.metrics.counter("serving.timeout").inc()
+            self._record(
+                ServedRequest(
+                    request,
+                    TIMEOUT,
+                    ticket.submitted_s,
+                    now,
+                    now,
+                    worker=wid,
+                    shed_reason=SHED_DEADLINE,
+                )
+            )
+            return
+        if request.kind == UPDATE:
+            self._process_update(ticket, wid)
+        else:
+            self._process_query(ticket, wid)
+
+    # -- updates -------------------------------------------------------
+    def _process_update(self, ticket: Ticket, wid: int) -> None:
+        update = ticket.request.update
+        assert update is not None  # UPDATE requests carry one
+        if self.epsilon_r > 0.0 and not self._degraded:
+            # Seed: defer at admission cost only; applied at flush time
+            with self._seed_lock:
+                self._seed_queue.add(update, ticket.submitted_s)
+            return
+        started = time.perf_counter()
+        with self._rwlock.write_locked():
+            try:
+                self.algorithm.apply_update(update)
+            except Exception as exc:
+                self._fault(ticket.request, ticket.submitted_s, wid, exc)
+                return
+            version = self.algorithm.graph.version
+            csr_view(self.algorithm.graph)
+        finished = time.perf_counter()
+        self.metrics.histogram("serving.wait").observe(
+            started - ticket.submitted_s
+        )
+        self.metrics.histogram("service.update").observe(finished - started)
+        self._record(
+            ServedRequest(
+                ticket.request,
+                OK,
+                ticket.submitted_s,
+                started,
+                finished,
+                version=version,
+                worker=wid,
+            )
+        )
+
+    # -- queries -------------------------------------------------------
+    def _process_query(self, ticket: Ticket, wid: int) -> None:
+        source = ticket.request.source
+        assert source is not None  # QUERY requests carry one
+        with self._seed_lock:
+            must_flush = len(self._seed_queue) > 0 and (
+                self._seed_queue.should_flush(source)
+            )
+        if must_flush:
+            self._flush_deferred(forced=True, worker=wid)
+
+        started = time.perf_counter()
+        self._rwlock.acquire_read()
+        try:
+            version = self.algorithm.graph.version
+            if self._query_fn is not None:
+                result: object = self._query_fn(self.algorithm.graph, source)
+            else:
+                # default path: algorithm instances keep per-query
+                # scratch state, so serialize (see class docstring)
+                with self._algo_lock:
+                    result = self.algorithm.query(source)
+        except Exception as exc:
+            finished = time.perf_counter()
+            self.metrics.counter("serving.faults").inc()
+            self._record(
+                ServedRequest(
+                    ticket.request,
+                    FAILED,
+                    ticket.submitted_s,
+                    started,
+                    finished,
+                    worker=wid,
+                    error=repr(exc),
+                )
+            )
+            return
+        finally:
+            self._rwlock.release_read()
+        finished = time.perf_counter()
+        self.metrics.histogram("serving.wait").observe(
+            started - ticket.submitted_s
+        )
+        self.metrics.histogram("service.query").observe(finished - started)
+        self.metrics.histogram("serving.response").observe(
+            finished - ticket.submitted_s
+        )
+        self._record(
+            ServedRequest(
+                ticket.request,
+                OK,
+                ticket.submitted_s,
+                started,
+                finished,
+                result=result,
+                version=version,
+                worker=wid,
+            )
+        )
+
+    # -- deferred-update machinery ------------------------------------
+    def _flush_deferred(self, forced: bool, worker: int = -1) -> int:
+        """Apply every deferred update (the writer role).  Returns the
+        number applied.  Faults degrade the runtime to strict FCFS."""
+        applied = 0
+        flush_started = time.perf_counter()
+        with self._rwlock.write_locked():
+            mutated = False
+            while True:
+                with self._seed_lock:
+                    head = self._seed_queue.peek()
+                    if head is None:
+                        break
+                    started = time.perf_counter()
+                    try:
+                        item = self._seed_queue.flush_one(self.algorithm)
+                    except Exception as exc:
+                        failed = self._seed_queue.discard_one()
+                        assert failed is not None
+                        self._fault(
+                            Request(0.0, UPDATE, update=failed.update),
+                            failed.arrival,
+                            worker,
+                            exc,
+                        )
+                        continue
+                    assert item is not None
+                    finished = time.perf_counter()
+                    mutated = True
+                    applied += 1
+                    self._record(
+                        ServedRequest(
+                            Request(0.0, UPDATE, update=item.update),
+                            OK,
+                            item.arrival,
+                            started,
+                            finished,
+                            version=self.algorithm.graph.version,
+                            worker=worker,
+                        )
+                    )
+            if mutated:
+                csr_view(self.algorithm.graph)
+        if applied:
+            self.metrics.histogram("service.flush").observe(
+                time.perf_counter() - flush_started
+            )
+        return applied
+
+    def _idle_drain(self, wid: int) -> None:
+        """Apply one deferred update while the admission queue idles."""
+        if self.epsilon_r == 0.0 or self._degraded:
+            return
+        with self._seed_lock:
+            if not len(self._seed_queue):
+                return
+        # non-blocking: if the writer side is contended, skip this tick
+        if not self._rwlock.acquire_write(timeout=0.0):
+            return
+        try:
+            with self._seed_lock:
+                head = self._seed_queue.peek()
+                if head is None:
+                    return
+                started = time.perf_counter()
+                try:
+                    item = self._seed_queue.flush_one(self.algorithm)
+                except Exception as exc:
+                    failed = self._seed_queue.discard_one()
+                    assert failed is not None
+                    self._fault(
+                        Request(0.0, UPDATE, update=failed.update),
+                        failed.arrival,
+                        wid,
+                        exc,
+                    )
+                    return
+                assert item is not None
+                finished = time.perf_counter()
+                self._record(
+                    ServedRequest(
+                        Request(0.0, UPDATE, update=item.update),
+                        OK,
+                        item.arrival,
+                        started,
+                        finished,
+                        version=self.algorithm.graph.version,
+                        worker=wid,
+                    )
+                )
+            csr_view(self.algorithm.graph)
+            self.metrics.histogram("service.update").observe(
+                finished - started
+            )
+        finally:
+            self._rwlock.release_write()
+
+    def _fault(
+        self,
+        request: Request,
+        submitted_s: float,
+        worker: int,
+        exc: Exception,
+    ) -> None:
+        """Record a failed update and degrade to strict FCFS."""
+        now = time.perf_counter()
+        self.metrics.counter("serving.faults").inc()
+        self._degraded = True
+        self._record(
+            ServedRequest(
+                request,
+                FAILED,
+                submitted_s,
+                now,
+                now,
+                worker=worker,
+                error=repr(exc),
+            )
+        )

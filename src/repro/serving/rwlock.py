@@ -1,0 +1,113 @@
+"""A write-preferring readers-writer lock.
+
+The serving runtime's concurrency discipline: any number of query
+workers read the graph (and its incrementally maintained CSR store)
+under shared access, while the single logical writer — whichever
+worker is applying or flushing edge updates — holds exclusive access.
+
+Write preference matters here: under sustained query traffic a
+read-preferring lock would starve the writer, so deferred updates
+would never flush and the Seed staleness bound could not be honored.
+Once a writer is waiting, new readers queue behind it.
+
+Lock ordering contract (deadlock freedom): a thread never upgrades —
+it must not request exclusive access while holding shared access, and
+vice versa.  The runtime acquires the RW lock *before* any internal
+mutex (Seed-queue mutex, records mutex), never after.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Shared/exclusive lock, write-preferring, with optional timeouts."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Acquire shared access; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                if not self._wait(deadline):
+                    return False
+            self._readers += 1
+            return True
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self, timeout: float | None = None) -> bool:
+        """Acquire exclusive access; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    if not self._wait(deadline):
+                        return False
+                self._writer_active = True
+                return True
+            finally:
+                self._writers_waiting -= 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _wait(self, deadline: float | None) -> bool:
+        """Wait on the condition; False once ``deadline`` has passed.
+
+        Caller must hold the condition and re-check its predicate: a
+        True return only means "not timed out yet" (waits can wake
+        spuriously or for a state change that doesn't help us).
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return time.monotonic() < deadline
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        """``with lock.read_locked():`` shared-access region."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """``with lock.write_locked():`` exclusive-access region."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, "
+            f"writer={self._writer_active}, "
+            f"waiting={self._writers_waiting})"
+        )

@@ -15,13 +15,13 @@ def queries(arrivals):
 
 class TestDispatch:
     def test_two_servers_run_in_parallel(self):
-        sim = FCFSQueueSimulator(lambda r: 10.0, servers=2)
+        sim = FCFSQueueSimulator(lambda r: 10.0, servers=2, modeled=True)
         result = sim.run(queries([0.0, 0.0]), t_end=20.0)
         starts = sorted(c.start for c in result.completed)
         assert starts == [0.0, 0.0]  # no waiting with 2 servers
 
     def test_third_request_waits(self):
-        sim = FCFSQueueSimulator(lambda r: 10.0, servers=2)
+        sim = FCFSQueueSimulator(lambda r: 10.0, servers=2, modeled=True)
         result = sim.run(queries([0.0, 0.0, 0.0]), t_end=40.0)
         starts = sorted(c.start for c in result.completed)
         assert starts == [0.0, 0.0, 10.0]
@@ -32,7 +32,7 @@ class TestDispatch:
         a = FCFSQueueSimulator(lambda r: 2.5).run(
             queries(arrivals), t_end=30.0
         )
-        b = FCFSQueueSimulator(lambda r: 2.5, servers=1).run(
+        b = FCFSQueueSimulator(lambda r: 2.5, servers=1, modeled=True).run(
             queries(arrivals), t_end=30.0
         )
         assert [c.finish for c in a.completed] == [
@@ -48,7 +48,7 @@ class TestDispatch:
         rng = np.random.default_rng(0)
         arrivals = sorted(rng.uniform(0, 10, size=40))
         services = iter(rng.uniform(0.1, 1.0, size=40))
-        sim = FCFSQueueSimulator(lambda r: next(services), servers=3)
+        sim = FCFSQueueSimulator(lambda r: next(services), servers=3, modeled=True)
         result = sim.run(queries(arrivals), t_end=60.0)
         starts = [c.start for c in result.completed]
         assert starts == sorted(starts)
@@ -65,7 +65,7 @@ class TestScaling:
         service = 0.15  # rho = 1.5 on one server
 
         def run(k):
-            sim = FCFSQueueSimulator(lambda r: service, servers=k)
+            sim = FCFSQueueSimulator(lambda r: service, servers=k, modeled=True)
             return sim.run(
                 Workload(list(requests), t_end, lam, 0.0)
             ).mean_query_response_time()
@@ -81,7 +81,7 @@ class TestScaling:
         t_end = 4000.0
         times = PoissonArrivals(lam).generate(t_end, rng)
         sim = FCFSQueueSimulator(
-            lambda r: float(rng.exponential(1.0 / mu)), servers=c
+            lambda r: float(rng.exponential(1.0 / mu)), servers=c, modeled=True
         )
         measured = sim.run(
             Workload(queries(times), t_end, lam, 0.0)
