@@ -10,9 +10,16 @@ Walks through the full pipeline in ~30 lines of user code:
 5. replay a workload and compare response time against the
    paper-default configuration.
 
-Run:  python examples/quickstart.py
+Pass ``--cache`` (and optionally ``--cache-epsilon``) to also serve
+the Quota run through the staleness-bounded result cache: repeated
+query sources are answered from cache while every applied update
+charges their entries a Lemma-2-style staleness increment, evicting
+past the ``epsilon_c`` budget.
+
+Run:  python examples/quickstart.py [--cache] [--cache-epsilon 0.2]
 """
 
+from repro.cache import PPRCache
 from repro.core import QuotaController, QuotaSystem, calibrated_cost_model
 from repro.evaluation import improvement_percent
 from repro.graph import barabasi_albert_graph
@@ -24,7 +31,9 @@ LAMBDA_U = 40.0  # edge updates per second
 WINDOW = 6.0     # seconds of workload
 
 
-def main(seed: int = 0) -> None:
+def main(
+    seed: int = 0, cache: bool = False, cache_epsilon: float = 0.2
+) -> None:
     graph = barabasi_albert_graph(500, attach=3, seed=seed + 7)
     params = PPRParams(alpha=0.2, epsilon=0.5, walk_cap=2000)
     workload = generate_workload(
@@ -50,7 +59,8 @@ def main(seed: int = 0) -> None:
     controller = QuotaController(
         model, extra_starts=[algorithm.get_hyperparameters()]
     )
-    system = QuotaSystem(algorithm, controller)
+    result_cache = PPRCache(epsilon_c=cache_epsilon) if cache else None
+    system = QuotaSystem(algorithm, controller, cache=result_cache)
     decision = system.configure_static(LAMBDA_Q, LAMBDA_U)
     print(
         f"Quota picked beta = {{"
@@ -65,6 +75,13 @@ def main(seed: int = 0) -> None:
         f"response time reduction: "
         f"{improvement_percent(base_r, quota_r):.1f}%"
     )
+    if result_cache is not None:
+        stats = result_cache.stats()
+        print(
+            f"result cache (epsilon_c={cache_epsilon:g}): "
+            f"hit rate {stats['hit_rate']:.2f} over "
+            f"{stats['lookups']:.0f} lookups"
+        )
 
 
 if __name__ == "__main__":
@@ -80,4 +97,22 @@ if __name__ == "__main__":
         help="base seed offsetting every RNG in the example "
         "(default 0 reproduces the documented output)",
     )
-    main(seed=parser.parse_args().seed)
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="serve the Quota run through the staleness-bounded "
+        "result cache",
+    )
+    parser.add_argument(
+        "--cache-epsilon",
+        type=float,
+        default=0.2,
+        metavar="EPS_C",
+        help="staleness budget per cached entry (default 0.2)",
+    )
+    cli_args = parser.parse_args()
+    main(
+        seed=cli_args.seed,
+        cache=cli_args.cache,
+        cache_epsilon=cli_args.cache_epsilon,
+    )

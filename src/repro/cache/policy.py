@@ -1,0 +1,107 @@
+"""Admission / expiry policies for :class:`~repro.cache.store.PPRCache`.
+
+The store owns the *correctness* rules (capacity bound, staleness
+budget); a policy owns the *economic* rules — which results are worth
+the slot, and whether age alone should retire an entry.  Keeping the
+two behind one small protocol lets benchmarks ablate policies without
+touching the store (``bench_cache_effectiveness.py`` does exactly
+that).
+
+All three shipped policies are deterministic: admission depends only on
+the key's own observation history and the measured compute cost, expiry
+only on the cache's applied-update counter — never on wall time — so
+modeled (virtual-clock) and measured runs agree.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:  # runtime-free: store imports this module
+    from repro.cache.store import CacheEntry, CacheKey
+
+
+class CachePolicy(Protocol):
+    """Admission / expiry decisions, consulted by the store under its lock.
+
+    ``should_admit`` runs on every insert attempt (``cost_s`` is the
+    measured or modeled compute cost of the candidate result);
+    ``should_expire`` runs on every lookup hit, with the cache's
+    applied-update counter as the age clock.
+    """
+
+    def should_admit(self, key: "CacheKey", cost_s: float) -> bool:
+        """True to accept the candidate entry."""
+        ...
+
+    def should_expire(self, entry: "CacheEntry", updates_seen: int) -> bool:
+        """True to retire ``entry`` before serving it."""
+        ...
+
+
+class AlwaysAdmit:
+    """Admit everything, never expire by age (the default)."""
+
+    def should_admit(self, key: "CacheKey", cost_s: float) -> bool:
+        return True
+
+    def should_expire(self, entry: "CacheEntry", updates_seen: int) -> bool:
+        return False
+
+
+class AdmitOnSecondHit:
+    """Cost-aware admission filter against one-off sources.
+
+    A result is admitted immediately when it was expensive enough to
+    compute (``cost_threshold_s``); otherwise the key must have been
+    *seen* (attempted) before — the classic "admit on second touch"
+    filter that keeps a Zipf tail of never-repeated sources from
+    flushing the hot set.  The seen-set is bounded LRU so memory stays
+    O(``seen_capacity``) over arbitrarily long replays.
+    """
+
+    def __init__(
+        self, cost_threshold_s: float = float("inf"), seen_capacity: int = 4096
+    ) -> None:
+        if seen_capacity < 1:
+            raise ValueError("seen_capacity must be >= 1")
+        self.cost_threshold_s = cost_threshold_s
+        self._seen: OrderedDict["CacheKey", None] = OrderedDict()
+        self._seen_capacity = seen_capacity
+
+    def should_admit(self, key: "CacheKey", cost_s: float) -> bool:
+        if cost_s >= self.cost_threshold_s:
+            return True
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return True
+        self._seen[key] = None
+        if len(self._seen) > self._seen_capacity:
+            self._seen.popitem(last=False)
+        return False
+
+    def should_expire(self, entry: "CacheEntry", updates_seen: int) -> bool:
+        return False
+
+
+class TTLPolicy:
+    """Expire entries older than ``ttl_updates`` applied updates.
+
+    Age is measured on the cache's applied-update counter, not wall
+    time, so a modeled replay and a measured run of the same workload
+    expire identically.  A TTL complements (never replaces) the
+    staleness budget: it bounds how long an entry for a *quiet* region
+    of the graph — one the update stream barely charges — may serve.
+    """
+
+    def __init__(self, ttl_updates: int) -> None:
+        if ttl_updates < 1:
+            raise ValueError("ttl_updates must be >= 1")
+        self.ttl_updates = ttl_updates
+
+    def should_admit(self, key: "CacheKey", cost_s: float) -> bool:
+        return True
+
+    def should_expire(self, entry: "CacheEntry", updates_seen: int) -> bool:
+        return updates_seen - entry.born_update > self.ttl_updates

@@ -1,0 +1,226 @@
+"""Update-driven staleness accounting for cached PPR results.
+
+The invalidation contract
+-------------------------
+Seed's Lemma 2 bounds how much one *pending* edge update at node ``u``
+can perturb a PPR vector for source ``s``; the same quantity prices an
+*applied* update against every cached answer computed before it.  The
+per-update increment the issue (and Seed) uses is
+
+    inc(s, u) = (1 - alpha) * pi_hat(s, u) / max(d_out(u), 1)
+
+(:func:`lemma2_increment`) — the probability mass the walk routes
+through ``u``'s changed out-row.  Converting perturbed *mass at u* into
+a bound on the *L1 drift of the whole vector* costs a coupling factor:
+once a walk takes a different edge at ``u``, its remaining
+(1 - alpha)-discounted future — up to ``2 * (1 - alpha) / alpha`` of
+expected mass per unit of rerouted probability — may land elsewhere.
+:class:`StalenessTracker` therefore charges
+``safety * inc(s, u)`` with ``safety = 2 / alpha`` by default, which
+makes the accumulated budget an empirically validated upper bound on
+the normalized L1 distance between the cached vector and a fresh
+recompute (the exactness oracle in ``benchmarks/
+bench_cache_effectiveness.py`` and ``tests/cache/test_oracle.py``
+verifies zero violations; measured worst-case drift/charge ratios sit
+near half the coupling factor).
+
+``pi_hat(s, u)`` is the *cached* estimate — the value computed when the
+entry was admitted.  Entries whose result cannot be indexed by node
+(opaque ``query_fn`` results, modeled entries in the simulators) carry
+no ``pi_estimate`` and fall back to the conservative degree-only bound
+``pi_hat = 1``, which over-charges and never under-protects.
+
+Call :meth:`StalenessTracker.observe` *after* the update is applied —
+the charge reads the post-update out-degree — and from within the same
+critical section that mutated the graph, so no query can observe a
+mutated graph before the cache was charged for it.
+:class:`ChargingApplier` packages that ordering for the Seed flush
+paths (it satisfies the structural ``UpdateApplier`` protocol of
+:mod:`repro.core.seed` without importing it — this package stays below
+``repro.core`` in the layering).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.cache.store import (
+    VECTOR,
+    CacheEntry,
+    CacheKey,
+    PiEstimate,
+    PPRCache,
+    make_key,
+)
+from repro.graph.digraph import DynamicGraph
+from repro.graph.updates import EdgeUpdate
+
+
+class SupportsApplyUpdate(Protocol):
+    """Structural twin of :class:`repro.core.seed.UpdateApplier`."""
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        """Apply one edge arrival; returns the resolved update."""
+        ...
+
+
+def lemma2_increment(alpha: float, pi_su: float, d_out: int) -> float:
+    """The paper-shaped per-update staleness increment (unscaled)."""
+    return (1.0 - alpha) * pi_su / max(d_out, 1)
+
+
+class StalenessTracker:
+    """Charges live cache entries for each applied edge update.
+
+    Parameters
+    ----------
+    cache:
+        The store whose entries are charged (and evicted past
+        ``cache.epsilon_c``).
+    graph:
+        The graph the updates mutate; degrees are read from it
+        post-application.
+    alpha:
+        Teleport probability of the cached queries.
+    safety:
+        Multiplier converting the Lemma-2 mass increment into an L1
+        drift bound (module docstring).  Default ``2 / alpha``.
+    """
+
+    def __init__(
+        self,
+        cache: PPRCache,
+        graph: DynamicGraph,
+        alpha: float,
+        safety: float | None = None,
+    ) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        if safety is not None and safety <= 0.0:
+            raise ValueError(f"safety must be positive, got {safety}")
+        self.cache = cache
+        self.graph = graph
+        self.alpha = alpha
+        self.safety = safety if safety is not None else 2.0 / alpha
+
+    def observe(self, update: EdgeUpdate) -> list[CacheKey]:
+        """Charge one *applied* update; returns staleness-evicted keys."""
+        u = update.u
+        d_out = self.graph.out_degree(u) if self.graph.has_node(u) else 0
+        base = self.safety * lemma2_increment(self.alpha, 1.0, d_out)
+
+        def increment(entry: CacheEntry) -> float:
+            if entry.pi_estimate is None:
+                return base  # degree-only bound: pi_hat(s, u) <= 1
+            pi_su = entry.pi_estimate(u)
+            if not pi_su >= 0.0:  # guards NaN as well as negatives
+                return base
+            return base * min(pi_su, 1.0)
+
+        return self.cache.charge_staleness(increment)
+
+
+class ChargingApplier:
+    """An ``UpdateApplier`` that charges staleness after each apply.
+
+    Wraps the real applier (an algorithm, or a bare graph-toggling
+    shim) so batch flushes — ``SeedQueue.flush`` / ``flush_one`` —
+    charge each update against the degrees it actually saw, instead of
+    charging the whole batch against post-batch degrees.
+    """
+
+    __slots__ = ("_inner", "_tracker")
+
+    def __init__(
+        self, inner: SupportsApplyUpdate, tracker: StalenessTracker
+    ) -> None:
+        self._inner = inner
+        self._tracker = tracker
+
+    def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        resolved = self._inner.apply_update(update)
+        self._tracker.observe(resolved)
+        return resolved
+
+
+class ReplayCache:
+    """Cache adapter for the virtual-time queue simulators.
+
+    Bundles a :class:`~repro.cache.store.PPRCache` with a
+    :class:`StalenessTracker` over the graph a simulated replay
+    mutates, exposing exactly what the simulators need: a hit test, an
+    admission hook, an update hook, and the modeled hit service time.
+    Simulated entries store no vector (``value=None``) by default, so
+    charging uses the conservative degree-only bound ``pi_hat = 1`` —
+    orders of magnitude above typical true values, so modeled replays
+    over-evict (and under-report hit rates) relative to measured runs,
+    never the reverse.  Callers that do hold a vector can pass a
+    ``pi_estimate`` accessor to :meth:`admit` to recover value-aware
+    charging.
+
+    Parameters
+    ----------
+    cache:
+        The underlying store (its ``epsilon_c``/policy/metrics apply).
+    graph:
+        The graph the simulator mutates (`on_update` reads degrees
+        from it, post-application).
+    alpha:
+        Teleport probability (for the staleness increment).
+    algo:
+        Key namespace; keep distinct per simulated configuration when
+        one store is shared.
+    hit_service_s:
+        Modeled service duration of a cache hit, in virtual seconds
+        (default 0.0 — a hit is free on the virtual clock).
+    safety:
+        Forwarded to :class:`StalenessTracker`.
+    """
+
+    def __init__(
+        self,
+        cache: PPRCache,
+        graph: DynamicGraph,
+        alpha: float = 0.2,
+        algo: str = "modeled",
+        hit_service_s: float = 0.0,
+        safety: float | None = None,
+    ) -> None:
+        if hit_service_s < 0.0:
+            raise ValueError(
+                f"hit_service_s must be >= 0, got {hit_service_s}"
+            )
+        self.cache = cache
+        self.hit_service_s = hit_service_s
+        self._graph = graph
+        self._algo = algo
+        self._tracker = StalenessTracker(cache, graph, alpha, safety=safety)
+
+    def _key(self, source: int) -> CacheKey:
+        return make_key(source, self._algo, {}, VECTOR)
+
+    def hit(self, source: int) -> bool:
+        """True when ``source`` is served from cache (bumps metrics)."""
+        return self.cache.lookup(self._key(source)) is not None
+
+    def admit(
+        self,
+        source: int,
+        cost_s: float = 0.0,
+        pi_estimate: PiEstimate | None = None,
+    ) -> bool:
+        """Record a computed (modeled) result for ``source``."""
+        return self.cache.insert(
+            self._key(source),
+            None,
+            self._graph.version,
+            cost_s=cost_s,
+            pi_estimate=pi_estimate,
+        )
+
+    def on_update(self, update: EdgeUpdate) -> list[CacheKey]:
+        """Charge one applied update (call after the graph mutated)."""
+        return self._tracker.observe(update)
+
+    def hit_rate(self) -> float:
+        return self.cache.hit_rate()

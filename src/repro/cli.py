@@ -12,7 +12,9 @@ Subcommands
 ``run``
     Replay a workload (generated or loaded from a CSV trace) through a
     system and print the response-time summary; optionally compare the
-    Quota configuration against the algorithm default.
+    Quota configuration against the algorithm default, and/or serve
+    queries through the staleness-bounded result cache
+    (``--cache --cache-epsilon 0.1``).
 
 Examples
 --------
@@ -24,6 +26,8 @@ Examples
         --lambda-q 20 --lambda-u 40
     python -m repro.cli run --dataset webs --algorithm Agenda --quota \\
         --lambda-q 40 --lambda-u 80 --window 5 --epsilon-r 0.5
+    python -m repro.cli run --dataset dblp --algorithm Agenda \\
+        --cache --cache-epsilon 0.2
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro.cache import PPRCache
 from repro.core.calibration import calibrated_cost_model
 from repro.core.quota import QuotaController
 from repro.core.system import QuotaSystem
@@ -103,6 +108,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--reoptimize-every", type=float, default=None,
         help="online re-optimization period in virtual seconds",
+    )
+    run.add_argument(
+        "--cache", action="store_true",
+        help="serve queries through the staleness-bounded result cache",
+    )
+    run.add_argument(
+        "--cache-epsilon", type=float, default=0.1, metavar="EPS_C",
+        help="staleness budget epsilon_c per cached entry (default 0.1)",
     )
     run.add_argument(
         "--trace", default=None,
@@ -215,14 +228,23 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"(n={graph.num_nodes}, m={graph.num_edges})"
     )
 
+    def make_cache() -> PPRCache | None:
+        if not args.cache:
+            return None
+        return PPRCache(epsilon_c=args.cache_epsilon)
+
     rows = []
     baseline = build_algorithm(
         args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed
     )
+    base_cache = make_cache()
     base_result = QuotaSystem(
-        baseline, epsilon_r=args.epsilon_r
+        baseline, epsilon_r=args.epsilon_r, cache=base_cache
     ).process(workload)
-    rows.append(_summarize(f"{args.algorithm} (default)", base_result))
+    label = f"{args.algorithm} (default)"
+    if base_cache is not None:
+        label += " +cache"
+    rows.append(_summarize(label, base_result))
 
     if args.quota:
         tuned = build_algorithm(
@@ -232,16 +254,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             calibrated_cost_model(tuned, rng=args.seed + 2),
             extra_starts=[tuned.get_hyperparameters()],
         )
+        quota_cache = make_cache()
         system = QuotaSystem(
             tuned,
             controller,
             epsilon_r=args.epsilon_r,
             reoptimize_every=args.reoptimize_every,
+            cache=quota_cache,
         )
         if args.reoptimize_every is None:
             system.configure_static(lambda_q, lambda_u)
         quota_result = system.process(workload)
-        rows.append(_summarize(f"Quota-{args.algorithm}", quota_result))
+        label = f"Quota-{args.algorithm}"
+        if quota_cache is not None:
+            label += " +cache"
+        rows.append(_summarize(label, quota_result))
 
     print(
         format_table(
@@ -254,6 +281,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(
             f"response-time reduction: "
             f"{improvement_percent(rows[0][1], rows[1][1]):.1f}%"
+        )
+    if args.cache and base_cache is not None:
+        stats = base_cache.stats()
+        print(
+            f"cache (epsilon_c={args.cache_epsilon:g}): "
+            f"hit rate {stats['hit_rate']:.2f} over "
+            f"{stats['lookups']:.0f} lookups, "
+            f"{stats['size']:.0f} live entries"
         )
     return 0
 

@@ -18,6 +18,7 @@ from repro.core.calibration import calibrate_taus, calibrated_cost_model
 from repro.core.cost_models import (
     COST_MODELS,
     AgendaCostModel,
+    CacheAwareCostModel,
     CostModel,
     ForaCostModel,
     ForaPlusCostModel,
@@ -47,6 +48,7 @@ __all__ = [
     "UNSTABLE",
     "AgendaCostModel",
     "AugmentedLagrangianOptimizer",
+    "CacheAwareCostModel",
     "ConstrainedProblem",
     "CostModel",
     "ForaCostModel",

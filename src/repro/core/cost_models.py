@@ -24,7 +24,7 @@ calibrated constants absorb the difference; the tunable trade-off
 from __future__ import annotations
 
 import math
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -239,6 +239,110 @@ class TopPPRCostModel(CostModel):
 
     def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Graph Update": 1.0}
+
+
+class CacheAwareCostModel(CostModel):
+    """Effective-service-time wrapper over a base cost model.
+
+    With a result cache in front of the algorithm, the mean query
+    service time the queue actually experiences is the hit/miss
+    mixture
+
+        t_q_eff(beta) = h * t_hit + (1 - h) * t_q(beta)
+
+    where ``h`` is the cache hit fraction and ``t_hit`` the (near
+    constant) lookup cost.  Wrapping the base model with this class
+    makes both the M/G/1 response model (Eq. 2) and the optimizer see
+    the cache: utilization and queueing delay shrink with ``h``, so
+    Quota can afford a *more* accurate beta at the same response-time
+    target.
+
+    ``h`` is supplied either as a static ``hit_fraction`` (for
+    what-if analysis) or live via ``hit_fraction_fn`` — typically
+    ``PPRCache.hit_rate``, the same quantity the ``cache.hit_rate``
+    gauge tracks online.  The fraction is re-read on every evaluation,
+    so periodic re-optimization naturally tracks cache warm-up.
+
+    Everything else — parameter names, factors, calibration plumbing —
+    delegates to the wrapped model, so the wrapper drops into
+    :class:`~repro.core.quota.QuotaController` unchanged.
+    """
+
+    def __init__(
+        self,
+        inner: CostModel,
+        hit_time_s: float = 0.0,
+        hit_fraction_fn: Callable[[], float] | None = None,
+        hit_fraction: float = 0.0,
+    ) -> None:
+        if hit_time_s < 0.0:
+            raise ValueError(f"hit_time_s must be >= 0, got {hit_time_s}")
+        if not 0.0 <= hit_fraction <= 1.0:
+            raise ValueError(
+                f"hit_fraction must be in [0, 1], got {hit_fraction}"
+            )
+        super().__init__(inner.n, inner.m, taus=inner.taus)
+        self.inner = inner
+        self.hit_time_s = hit_time_s
+        self._hit_fraction_fn = hit_fraction_fn
+        self._static_hit_fraction = hit_fraction
+        # mirror the wrapped model's interface surface
+        self.algorithm_name = inner.algorithm_name
+        self.param_names = inner.param_names
+        self.query_subprocesses = inner.query_subprocesses
+        self.update_subprocesses = inner.update_subprocesses
+
+    def hit_fraction(self) -> float:
+        """Current hit fraction h, clamped into [0, 1]."""
+        if self._hit_fraction_fn is not None:
+            h = float(self._hit_fraction_fn())
+        else:
+            h = self._static_hit_fraction
+        if not 0.0 <= h:  # guards NaN as well as negatives
+            return 0.0
+        return min(h, 1.0)
+
+    # -- delegation -------------------------------------------------------
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
+        return self.inner.query_factors(beta, lambda_q, lambda_u)
+
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
+        return self.inner.update_factors(beta)
+
+    def query_time(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> float:
+        h = self.hit_fraction()
+        miss_time_s = self.inner.query_time(beta, lambda_q, lambda_u)
+        return h * self.hit_time_s + (1.0 - h) * miss_time_s
+
+    def update_time(self, beta: Mapping[str, float]) -> float:
+        return self.inner.update_time(beta)
+
+    def without_constants(self) -> "CacheAwareCostModel":
+        return CacheAwareCostModel(
+            self.inner.without_constants(),
+            hit_time_s=self.hit_time_s,
+            hit_fraction_fn=self._hit_fraction_fn,
+            hit_fraction=self._static_hit_fraction,
+        )
+
+    def with_taus(self, taus: Mapping[str, float]) -> "CacheAwareCostModel":
+        return CacheAwareCostModel(
+            self.inner.with_taus(taus),
+            hit_time_s=self.hit_time_s,
+            hit_fraction_fn=self._hit_fraction_fn,
+            hit_fraction=self._static_hit_fraction,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheAwareCostModel({self.inner!r}, "
+            f"hit_time_s={self.hit_time_s:.3g}, "
+            f"h={self.hit_fraction():.3f})"
+        )
 
 
 COST_MODELS: dict[str, type[CostModel]] = {

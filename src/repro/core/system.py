@@ -20,10 +20,18 @@ import time
 from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, TypeVar
+from typing import TYPE_CHECKING, TypeVar, cast
 
+from repro.cache import (
+    VECTOR,
+    CacheKey,
+    ChargingApplier,
+    PPRCache,
+    StalenessTracker,
+    make_key,
+)
 from repro.core.quota import QuotaController, QuotaDecision
-from repro.core.seed import SeedQueue
+from repro.core.seed import SeedQueue, UpdateApplier
 from repro.obs import MetricsRegistry, get_metrics
 from repro.ppr.base import DynamicPPRAlgorithm, PPRVector
 from repro.queueing.simulator import CompletedRequest, SimulationResult
@@ -90,6 +98,15 @@ class QuotaSystem:
         Charge the cost of *applying* a new beta — an index rebuild for
         index-based algorithms — to the server clock.  Default True:
         the index is shared state the server must rebuild in-line.
+    cache:
+        Optional :class:`~repro.cache.PPRCache`.  Queries look up
+        before computing (a hit costs only the measured lookup time on
+        the virtual clock and skips the Seed flush check — the budget
+        ``epsilon_c`` already covers every applied update) and insert
+        after computing; every update-application path charges the
+        staleness tracker immediately, via a
+        :class:`~repro.cache.ChargingApplier` on the flush paths so a
+        batch flush charges each update against the degrees it saw.
     metrics:
         Observability registry receiving the per-operation service-time
         histograms (``service.query`` / ``service.update`` /
@@ -110,6 +127,7 @@ class QuotaSystem:
         charge_apply: bool = True,
         rate_change_threshold: float = 0.15,
         beta_change_threshold: float = 0.10,
+        cache: PPRCache | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if reoptimize_every is not None and reoptimize_every <= 0:
@@ -127,6 +145,14 @@ class QuotaSystem:
         # barely moved
         self.rate_change_threshold = rate_change_threshold
         self.beta_change_threshold = beta_change_threshold
+        self.cache = cache
+        self._staleness = (
+            StalenessTracker(
+                cache, algorithm.graph, algorithm.params.alpha
+            )
+            if cache is not None
+            else None
+        )
         self.metrics = metrics if metrics is not None else get_metrics()
         self.decisions: list[QuotaDecision] = []
         self._last_reoptimize = 0.0
@@ -171,6 +197,7 @@ class QuotaSystem:
             deadline_s=deadline_s,
             controller=self.controller,
             drain_idle=drain_idle,
+            cache=self.cache,
             metrics=self.metrics,
         )
 
@@ -190,6 +217,14 @@ class QuotaSystem:
         seed_queue = SeedQueue(
             self.algorithm.graph, self.algorithm.params.alpha, self.epsilon_r
         )
+        # flush paths go through the charging wrapper so each update is
+        # charged against the degrees it actually saw (not post-batch)
+        applier: UpdateApplier = (
+            ChargingApplier(self.algorithm, self._staleness)
+            if self._staleness is not None
+            else self.algorithm
+        )
+        cache = self.cache
         completed: list[CompletedRequest] = []
         server_free = 0.0
         self._last_reoptimize = 0.0
@@ -201,7 +236,7 @@ class QuotaSystem:
             # idles before this arrival — deferral should steal time
             # from queries only under contention (Lemma 3's regime).
             server_free = self._drain_idle(
-                seed_queue, completed, server_free, request.arrival
+                seed_queue, applier, completed, server_free, request.arrival
             )
 
             if request.kind == UPDATE:
@@ -213,7 +248,7 @@ class QuotaSystem:
                     continue
                 start = max(request.arrival, server_free)
                 elapsed = self._timed(
-                    lambda: self.algorithm.apply_update(update)
+                    lambda: applier.apply_update(update)
                 )[1]
                 self.metrics.histogram("service.update").observe(elapsed)
                 finish = start + elapsed
@@ -227,11 +262,40 @@ class QuotaSystem:
             source = request.source
             assert source is not None  # QUERY requests carry one
             start = max(request.arrival, server_free)
+            key: CacheKey | None = None
+            if cache is not None:
+                key = self._cache_key(source)
+                hit_key = key
+                entry, lookup_elapsed = self._timed(
+                    lambda: cache.lookup(hit_key)
+                )
+                if entry is not None:
+                    # a hit costs only the lookup and skips the Seed
+                    # flush check: epsilon_c already covers every
+                    # applied update, and the deferred ones are
+                    # invisible to a fresh recompute too
+                    self.metrics.histogram("service.query_hit").observe(
+                        lookup_elapsed
+                    )
+                    finish = start + lookup_elapsed
+                    completed.append(
+                        CompletedRequest(
+                            request, start, finish, lookup_elapsed
+                        )
+                    )
+                    server_free = finish
+                    if query_callback is not None:
+                        query_callback(
+                            request,
+                            cast(PPRVector, entry.value),
+                            len(seed_queue),
+                        )
+                    continue
             if len(seed_queue) and seed_queue.should_flush(source):
                 # the query must wait for the forced flush: the deferred
                 # updates occupy the server first, then the query runs
                 flushed, flush_elapsed = self._timed(
-                    lambda: seed_queue.flush(self.algorithm)
+                    lambda: seed_queue.flush(applier)
                 )
                 self.metrics.histogram("service.flush").observe(flush_elapsed)
                 flush_finish = start + flush_elapsed
@@ -252,6 +316,14 @@ class QuotaSystem:
                 lambda: self.algorithm.query(source)
             )
             self.metrics.histogram("service.query").observe(query_elapsed)
+            if cache is not None and key is not None:
+                cache.insert(
+                    key,
+                    estimate,
+                    self.algorithm.graph.version,
+                    cost_s=query_elapsed,
+                    pi_estimate=estimate.get,
+                )
             finish = start + query_elapsed
             completed.append(
                 CompletedRequest(request, start, finish, query_elapsed)
@@ -267,7 +339,7 @@ class QuotaSystem:
                 max(item.arrival for item in seed_queue.pending),
             )
             flushed, elapsed = self._timed(
-                lambda: seed_queue.flush(self.algorithm)
+                lambda: seed_queue.flush(applier)
             )
             self.metrics.histogram("service.flush").observe(elapsed)
             finish = drain_from + elapsed
@@ -289,6 +361,7 @@ class QuotaSystem:
     def _drain_idle(
         self,
         seed_queue: SeedQueue,
+        applier: UpdateApplier,
         completed: list[CompletedRequest],
         server_free: float,
         until: float,
@@ -296,7 +369,7 @@ class QuotaSystem:
         """Apply pending updates one at a time while the server is idle."""
         while len(seed_queue) and server_free < until:
             item, elapsed = self._timed(
-                lambda: seed_queue.flush_one(self.algorithm)
+                lambda: seed_queue.flush_one(applier)
             )
             assert item is not None  # queue was non-empty
             self.metrics.histogram("service.update").observe(elapsed)
@@ -375,6 +448,15 @@ class QuotaSystem:
             if abs(new - old) / old > self.beta_change_threshold:
                 return True
         return False
+
+    def _cache_key(self, source: int) -> CacheKey:
+        """Cache identity of a query at the current configuration."""
+        return make_key(
+            source,
+            self.algorithm.name,
+            self.algorithm.get_hyperparameters(),
+            VECTOR,
+        )
 
     @staticmethod
     def _timed(fn: Callable[[], _T]) -> tuple[_T, float]:

@@ -22,6 +22,11 @@ Naming conventions
   serving runtime (queue-depth gauge, wait/response histograms,
   shed/timeout/fault counters).
 * ``calibration.*`` — tau-calibration accounting.
+* ``cache.*``       — result-cache accounting (:mod:`repro.cache`):
+  hit/miss/insertion counters, eviction counters split by cause
+  (capacity / staleness budget / TTL), admission rejections, bulk
+  invalidations, plus the live size and online hit-rate gauges the
+  cache-aware cost model reads.
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -40,6 +45,14 @@ COUNTERS = frozenset(
         "serving.shed",
         "serving.timeout",
         "serving.faults",
+        "cache.hits",
+        "cache.misses",
+        "cache.insertions",
+        "cache.rejections",
+        "cache.evictions_capacity",
+        "cache.evictions_staleness",
+        "cache.evictions_ttl",
+        "cache.invalidations",
     }
 )
 
@@ -53,6 +66,7 @@ HISTOGRAMS = frozenset(
         "calibration.probe",
         "serving.wait",
         "serving.response",
+        "service.query_hit",
     }
 )
 
@@ -60,6 +74,8 @@ HISTOGRAMS = frozenset(
 GAUGES = frozenset(
     {
         "serving.queue_depth",
+        "cache.size",
+        "cache.hit_rate",
     }
 )
 

@@ -39,6 +39,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Callable
 
+from repro.cache.staleness import ReplayCache
 from repro.core.seed import SeedQueue
 from repro.graph.digraph import DynamicGraph
 from repro.graph.updates import EdgeUpdate
@@ -88,6 +89,15 @@ class SeedAwareQueueSimulator:
         Override for how an update is executed (default: toggle the
         edge on ``graph``).  An index-based algorithm's
         ``apply_update`` can be passed to keep its index in sync.
+    cache:
+        Optional :class:`~repro.cache.ReplayCache` reproducing the
+        serving runtime's hit/miss mixture: a query that hits is
+        charged ``cache.hit_service_s`` and skips the Seed flush
+        check (its staleness budget covers applied updates; deferred
+        ones are invisible to a fresh recompute too); a miss runs
+        normally and is admitted.  Every applied update — direct,
+        idle-drained, or flushed — charges the cache's staleness
+        tracker right after mutating the graph.
     """
 
     def __init__(
@@ -98,6 +108,7 @@ class SeedAwareQueueSimulator:
         epsilon_r: float = 0.0,
         servers: int = 1,
         apply_update: ApplyFn | None = None,
+        cache: ReplayCache | None = None,
     ) -> None:
         if servers < 1:
             raise ValueError("servers must be >= 1")
@@ -106,11 +117,25 @@ class SeedAwareQueueSimulator:
         self._alpha = alpha
         self._epsilon_r = epsilon_r
         self._servers = servers
+        self._cache = cache
         apply_fn: ApplyFn = (
             apply_update
             if apply_update is not None
             else lambda update: update.apply(graph)
         )
+        if cache is not None:
+            # every apply path (direct, idle drain, forced flush) runs
+            # through this applier, so charging here covers them all —
+            # and charges each update against the degrees it saw
+            base_fn = apply_fn
+
+            def charging_fn(update: EdgeUpdate) -> EdgeUpdate:
+                resolved = base_fn(update)
+                assert cache is not None
+                cache.on_update(resolved)
+                return resolved
+
+            apply_fn = charging_fn
         self._applier = _GraphApplier(apply_fn)
 
     # ------------------------------------------------------------------
@@ -205,9 +230,22 @@ class SeedAwareQueueSimulator:
             assert source is not None  # QUERY requests carry one
             free = heapq.heappop(free_at)
             start = max(request.arrival, free)
+            if self._cache is not None and self._cache.hit(source):
+                # served from cache: no flush check (epsilon_c covers
+                # applied updates; deferred ones are invisible to a
+                # fresh recompute too), only the hit service time
+                service = self._cache.hit_service_s
+                finish = start + service
+                completed.append(
+                    CompletedRequest(request, start, finish, service)
+                )
+                heapq.heappush(free_at, finish)
+                continue
             if len(seed_queue) and seed_queue.should_flush(source):
                 start = self._flush_all(seed_queue, completed, start)
             service = self._service(request)
+            if self._cache is not None:
+                self._cache.admit(source, cost_s=service)
             finish = start + service
             completed.append(CompletedRequest(request, start, finish, service))
             heapq.heappush(free_at, finish)

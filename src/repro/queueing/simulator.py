@@ -25,7 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.typing import NDArray
 
-from repro.queueing.workload import QUERY, Request, Workload
+from repro.cache.staleness import ReplayCache
+from repro.queueing.workload import QUERY, UPDATE, Request, Workload
 
 
 class MeasuredParallelWarning(UserWarning):
@@ -198,6 +199,16 @@ class FCFSQueueSimulator:
         mislabel a sequential-execution timeline as parallel.  For
         genuinely concurrent measured serving use
         :class:`repro.serving.ServingRuntime`.
+    cache:
+        Optional :class:`~repro.cache.ReplayCache` reproducing the
+        serving runtime's hit/miss service-time mixture in virtual
+        time: a query that hits is charged ``cache.hit_service_s``
+        and ``service_fn`` is *not* invoked (mirroring
+        lookup-before-compute); a miss runs normally and is admitted
+        at its service cost; every update charges the cache's
+        staleness tracker *after* ``service_fn`` ran, so a measured
+        service function that mutates the graph is charged against
+        post-update degrees.
     """
 
     def __init__(
@@ -205,12 +216,14 @@ class FCFSQueueSimulator:
         service_fn: ServiceFn,
         servers: int = 1,
         modeled: bool = False,
+        cache: ReplayCache | None = None,
     ) -> None:
         if servers < 1:
             raise ValueError("servers must be >= 1")
         self._service_fn = service_fn
         self._servers = servers
         self._modeled = modeled
+        self._cache = cache
 
     def run(
         self,
@@ -243,10 +256,26 @@ class FCFSQueueSimulator:
         # min-heap of per-server next-free times
         free_at = [0.0] * self._servers
         heapq.heapify(free_at)
+        cache = self._cache
         for request in requests:
             earliest = heapq.heappop(free_at)
             start = max(request.arrival, earliest)
-            service = validate_service(float(self._service_fn(request)), request)
+            if (
+                cache is not None
+                and request.kind == QUERY
+                and request.source is not None
+                and cache.hit(request.source)
+            ):
+                service = cache.hit_service_s
+            else:
+                service = validate_service(
+                    float(self._service_fn(request)), request
+                )
+                if cache is not None:
+                    if request.kind == QUERY and request.source is not None:
+                        cache.admit(request.source, cost_s=service)
+                    elif request.kind == UPDATE and request.update is not None:
+                        cache.on_update(request.update)
             finish = start + service
             completed.append(CompletedRequest(request, start, finish, service))
             heapq.heappush(free_at, finish)

@@ -25,6 +25,13 @@ Concurrency discipline
   source exceeds the budget, at which point the dispatching worker
   becomes the writer and flushes.  Idle workers drain deferred updates
   one at a time (``flush_one``) whenever the admission queue is empty.
+* **Result caching** (optional).  With a
+  :class:`~repro.cache.PPRCache` attached, queries try the cache
+  before taking the read lock and insert their result while still
+  holding it; every writer critical section charges the cache's
+  staleness tracker immediately after mutating, so served-from-cache
+  answers provably stay within the ``epsilon_c`` budget of a fresh
+  recompute (see docs/DEVELOPMENT.md, "The result cache").
 * **Backpressure and deadlines.**  Admission is bounded
   (:class:`~repro.serving.admission.AdmissionQueue`); submission sheds
   when the queue is full, and a query popped after its deadline budget
@@ -56,12 +63,13 @@ import traceback
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from repro.cache import VECTOR, CacheKey, PPRCache, StalenessTracker, make_key
 from repro.core.quota import QuotaController, QuotaDecision
 from repro.core.seed import SeedQueue
 from repro.graph.digraph import DynamicGraph
 from repro.graph.updates import EdgeUpdate
 from repro.obs import MetricsRegistry, get_metrics
-from repro.ppr.base import DynamicPPRAlgorithm
+from repro.ppr.base import DynamicPPRAlgorithm, PPRVector
 from repro.ppr.csr import csr_view
 from repro.queueing.workload import QUERY, UPDATE, Request, Workload
 from repro.serving.admission import (
@@ -96,11 +104,14 @@ class ServedRequest:
     started_s: float
     finished_s: float
     result: object | None = None
-    #: graph version the operation observed/produced (-1 when shed)
+    #: graph version the operation observed/produced (-1 when shed);
+    #: for cache hits, the version the cached result was *computed* at
     version: int = -1
     worker: int = -1
     error: str | None = None
     shed_reason: str | None = None
+    #: True when the result was served from the PPR result cache
+    cached: bool = False
 
     @property
     def kind(self) -> str:
@@ -132,6 +143,17 @@ class ServingReport:
         return [
             r for r in self.records if r.kind == QUERY and r.status == OK
         ]
+
+    def cached_queries(self) -> list[ServedRequest]:
+        """Completed queries answered from the result cache."""
+        return [r for r in self.completed_queries() if r.cached]
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of completed queries served from cache."""
+        queries = self.completed_queries()
+        if not queries:
+            return 0.0
+        return sum(1 for r in queries if r.cached) / len(queries)
 
     @property
     def shed_count(self) -> int:
@@ -188,6 +210,17 @@ class ServingRuntime:
         Apply deferred updates while the admission queue is empty.
     idle_tick_s:
         Worker poll interval when idle (also bounds stop latency).
+    cache:
+        Optional :class:`~repro.cache.PPRCache`.  Queries look up
+        before computing (a hit skips the read lock and the Seed flush
+        check entirely — its staleness budget already covers every
+        *applied* update, and the not-yet-applied deferred ones are
+        invisible to a fresh recompute too) and insert after computing,
+        while still under the read lock so no writer can slip a charge
+        between compute and insert.  Every write path — inline update,
+        forced flush, idle drain — charges the tracker inside its
+        writer critical section, so a query can never observe a
+        mutated graph whose updates the cache was not yet charged for.
     metrics:
         Observability registry (defaults to the process-wide one).
     """
@@ -204,6 +237,7 @@ class ServingRuntime:
         query_fn: QueryFn | None = None,
         drain_idle: bool = True,
         idle_tick_s: float = 0.02,
+        cache: PPRCache | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
@@ -222,6 +256,14 @@ class ServingRuntime:
         self.records: list[ServedRequest] = []
 
         self._query_fn = query_fn
+        self._cache = cache
+        self._staleness = (
+            StalenessTracker(
+                cache, algorithm.graph, algorithm.params.alpha
+            )
+            if cache is not None
+            else None
+        )
         self._rwlock = RWLock()
         self._seed_lock = threading.Lock()
         self._records_lock = threading.Lock()
@@ -411,6 +453,26 @@ class ServingRuntime:
         with self._records_lock:
             self.records.append(record)
 
+    def _cache_key(self, source: int) -> CacheKey:
+        """Cache identity of a query under the current configuration.
+
+        The beta signature read here may race a concurrent
+        ``reconfigure`` (which swaps hyperparameters under the write
+        lock); a torn read can only produce a signature that matches
+        nothing — a spurious miss, never a wrong hit.
+        """
+        return make_key(
+            source,
+            self.algorithm.name,
+            self.algorithm.get_hyperparameters(),
+            VECTOR,
+        )
+
+    def _charge_cache(self, update: EdgeUpdate) -> None:
+        """Charge one applied update (call inside the writer section)."""
+        if self._staleness is not None:
+            self._staleness.observe(update)
+
     def _worker_loop(self, wid: int) -> None:
         while not self._stop.is_set():
             ticket = self._admission.take(self.idle_tick_s)
@@ -470,10 +532,11 @@ class ServingRuntime:
         started = time.perf_counter()
         with self._rwlock.write_locked():
             try:
-                self.algorithm.apply_update(update)
+                resolved = self.algorithm.apply_update(update)
             except Exception as exc:
                 self._fault(ticket.request, ticket.submitted_s, wid, exc)
                 return
+            self._charge_cache(resolved)
             version = self.algorithm.graph.version
             csr_view(self.algorithm.graph)
         finished = time.perf_counter()
@@ -497,6 +560,34 @@ class ServingRuntime:
     def _process_query(self, ticket: Ticket, wid: int) -> None:
         source = ticket.request.source
         assert source is not None  # QUERY requests carry one
+        if self._cache is not None:
+            lookup_started = time.perf_counter()
+            entry = self._cache.lookup(self._cache_key(source))
+            if entry is not None:
+                finished = time.perf_counter()
+                self.metrics.histogram("serving.wait").observe(
+                    lookup_started - ticket.submitted_s
+                )
+                self.metrics.histogram("service.query_hit").observe(
+                    finished - lookup_started
+                )
+                self.metrics.histogram("serving.response").observe(
+                    finished - ticket.submitted_s
+                )
+                self._record(
+                    ServedRequest(
+                        ticket.request,
+                        OK,
+                        ticket.submitted_s,
+                        lookup_started,
+                        finished,
+                        result=entry.value,
+                        version=entry.version,
+                        worker=wid,
+                        cached=True,
+                    )
+                )
+                return
         with self._seed_lock:
             must_flush = len(self._seed_queue) > 0 and (
                 self._seed_queue.should_flush(source)
@@ -515,6 +606,20 @@ class ServingRuntime:
                 # scratch state, so serialize (see class docstring)
                 with self._algo_lock:
                     result = self.algorithm.query(source)
+            if self._cache is not None:
+                # still under the read lock: a writer cannot apply (and
+                # charge) an update between this compute and the insert
+                self._cache.insert(
+                    self._cache_key(source),
+                    result,
+                    version,
+                    cost_s=time.perf_counter() - started,
+                    pi_estimate=(
+                        result.get
+                        if isinstance(result, PPRVector)
+                        else None
+                    ),
+                )
         except Exception as exc:
             finished = time.perf_counter()
             self.metrics.counter("serving.faults").inc()
@@ -580,6 +685,7 @@ class ServingRuntime:
                         )
                         continue
                     assert item is not None
+                    self._charge_cache(item.update)
                     finished = time.perf_counter()
                     mutated = True
                     applied += 1
@@ -631,6 +737,7 @@ class ServingRuntime:
                     )
                     return
                 assert item is not None
+                self._charge_cache(item.update)
                 finished = time.perf_counter()
                 self._record(
                     ServedRequest(

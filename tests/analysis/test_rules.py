@@ -211,6 +211,57 @@ class TestR5MetricName:
         assert ids(src, R5_CONFIG) == []
 
 
+# the cache.* namespace rides on the same registry: names registered in
+# src/repro/obs/names.py extend R5 coverage automatically
+R5_CACHE_CONFIG = LintConfig(
+    restrict_scopes=False,
+    metric_counters=frozenset({"cache.hits", "cache.evictions_staleness"}),
+    metric_gauges=frozenset({"cache.hit_rate"}),
+)
+
+
+class TestR5CacheMetrics:
+    def test_cache_names_accepted_from_default_registry(self):
+        # the real src/repro/obs/names.py registers the cache.* family
+        src = (
+            'metrics.counter("cache.hits").inc()\n'
+            'metrics.counter("cache.misses").inc()\n'
+            'metrics.counter("cache.evictions_staleness").inc(2)\n'
+            'metrics.gauge("cache.hit_rate").set(0.5)\n'
+            'metrics.gauge("cache.size").set(1.0)\n'
+            'metrics.histogram("service.query_hit").observe(1e-6)\n'
+        )
+        assert ids(src) == []
+
+    def test_unregistered_cache_name_flagged(self):
+        assert ids('metrics.counter("cache.hit").inc()\n') == ["R5"]
+
+    def test_cache_counter_as_histogram_flagged(self):
+        findings = run_source(
+            'metrics.histogram("cache.hits").observe(1.0)\n',
+            "fixture.py",
+            R5_CACHE_CONFIG,
+        )
+        assert [f.rule_id for f in findings] == ["R5"]
+        assert "wrong metric kind" in findings[0].message
+
+    def test_cache_gauge_as_counter_flagged(self):
+        findings = run_source(
+            'metrics.counter("cache.hit_rate").inc()\n',
+            "fixture.py",
+            R5_CACHE_CONFIG,
+        )
+        assert [f.rule_id for f in findings] == ["R5"]
+        assert "wrong metric kind" in findings[0].message
+
+    def test_pinned_cache_registry_accepts_its_names(self):
+        src = (
+            'metrics.counter("cache.hits").inc()\n'
+            'metrics.gauge("cache.hit_rate").set(0.1)\n'
+        )
+        assert ids(src, R5_CACHE_CONFIG) == []
+
+
 class TestR6UnitSuffix:
     def test_bare_stem_parameter_flagged(self):
         assert ids("def f(timeout):\n    return timeout\n") == ["R6"]
