@@ -44,7 +44,7 @@ from repro.evaluation.datasets import DATASETS, get_dataset
 from repro.evaluation.metrics import ResponseTimeSummary, improvement_percent
 from repro.evaluation.report import format_table
 from repro.evaluation.runner import build_algorithm
-from repro.ppr import ALGORITHMS
+from repro.ppr import ALGORITHMS, ENGINES
 from repro.queueing.trace_io import load_workload_trace, save_workload_trace
 from repro.queueing.workload import QUERY, UPDATE, generate_workload
 
@@ -97,6 +97,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--lambda-q", type=float, default=None)
     run.add_argument("--lambda-u", type=float, default=None)
     run.add_argument("--window", type=float, default=None)
+    run.add_argument(
+        "--engine",
+        default="scalar",
+        choices=ENGINES,
+        help="push-kernel engine (scalar is the oracle path; frontier/"
+        "batched use the vectorized kernels where the algorithm "
+        "supports them)",
+    )
     run.add_argument(
         "--quota", action="store_true",
         help="also run the Quota-configured system and compare",
@@ -235,7 +243,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     rows = []
     baseline = build_algorithm(
-        args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed
+        args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed,
+        engine=args.engine,
     )
     base_cache = make_cache()
     base_result = QuotaSystem(
@@ -248,7 +257,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     if args.quota:
         tuned = build_algorithm(
-            args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed
+            args.algorithm, graph.copy(), spec.walk_cap, seed=args.seed,
+            engine=args.engine,
         )
         controller = QuotaController(
             calibrated_cost_model(tuned, rng=args.seed + 2),

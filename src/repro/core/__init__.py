@@ -18,6 +18,7 @@ from repro.core.calibration import calibrate_taus, calibrated_cost_model
 from repro.core.cost_models import (
     COST_MODELS,
     AgendaCostModel,
+    BatchAwareCostModel,
     CacheAwareCostModel,
     CostModel,
     ForaCostModel,
@@ -48,6 +49,7 @@ __all__ = [
     "UNSTABLE",
     "AgendaCostModel",
     "AugmentedLagrangianOptimizer",
+    "BatchAwareCostModel",
     "CacheAwareCostModel",
     "ConstrainedProblem",
     "CostModel",

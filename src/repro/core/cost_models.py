@@ -345,6 +345,112 @@ class CacheAwareCostModel(CostModel):
         )
 
 
+class BatchAwareCostModel(CostModel):
+    """Effective-service-time wrapper for batched query dispatch.
+
+    When the serving runtime coalesces B same-snapshot queries into one
+    ``query_batch`` call, part of each query's work is *shared* across
+    the batch (graph scans, frontier bookkeeping, lock traffic) and the
+    rest stays per-query (the source-specific push/walk mass).  With
+    ``sigma`` the shared fraction, the mean per-query service time the
+    queue experiences becomes
+
+        t_q_eff(beta) = t_q(beta) * ((1 - sigma) + sigma / B)
+
+    which recovers t_q at B = 1 and approaches (1 - sigma) * t_q as
+    batches grow — batching amortizes only the shared part, never the
+    per-query part.  Feeding this to the M/G/1 response model lets the
+    optimizer account for the dispatch window: utilization drops with
+    B, so Quota can spend the head-room on a more accurate beta.
+
+    ``B`` is supplied either as a static ``batch_size`` (what-if
+    analysis) or live via ``batch_size_fn`` — typically the mean of
+    the ``serving.batch_size`` histogram.  It is re-read per
+    evaluation and clamped to >= 1, so an idle runtime (empty batches,
+    NaN means) degrades to the unbatched model rather than a division
+    blow-up.
+
+    Update costs are untouched: updates flush between batches, one at
+    a time, exactly as without batching.
+    """
+
+    def __init__(
+        self,
+        inner: CostModel,
+        shared_fraction: float = 0.5,
+        batch_size_fn: Callable[[], float] | None = None,
+        batch_size: float = 1.0,
+    ) -> None:
+        if not 0.0 <= shared_fraction <= 1.0:
+            raise ValueError(
+                f"shared_fraction must be in [0, 1], got {shared_fraction}"
+            )
+        if batch_size < 1.0:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        super().__init__(inner.n, inner.m, taus=inner.taus)
+        self.inner = inner
+        self.shared_fraction = shared_fraction
+        self._batch_size_fn = batch_size_fn
+        self._static_batch_size = batch_size
+        # mirror the wrapped model's interface surface
+        self.algorithm_name = inner.algorithm_name
+        self.param_names = inner.param_names
+        self.query_subprocesses = inner.query_subprocesses
+        self.update_subprocesses = inner.update_subprocesses
+
+    def batch_size(self) -> float:
+        """Current mean batch size B, clamped to >= 1."""
+        if self._batch_size_fn is not None:
+            b = float(self._batch_size_fn())
+        else:
+            b = self._static_batch_size
+        if not b >= 1.0:  # guards NaN as well as sub-1 values
+            return 1.0
+        return b
+
+    # -- delegation -------------------------------------------------------
+    def query_factors(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> dict[str, float]:
+        return self.inner.query_factors(beta, lambda_q, lambda_u)
+
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
+        return self.inner.update_factors(beta)
+
+    def query_time(
+        self, beta: Mapping[str, float], lambda_q: float, lambda_u: float
+    ) -> float:
+        sigma = self.shared_fraction
+        scale = (1.0 - sigma) + sigma / self.batch_size()
+        return scale * self.inner.query_time(beta, lambda_q, lambda_u)
+
+    def update_time(self, beta: Mapping[str, float]) -> float:
+        return self.inner.update_time(beta)
+
+    def without_constants(self) -> "BatchAwareCostModel":
+        return BatchAwareCostModel(
+            self.inner.without_constants(),
+            shared_fraction=self.shared_fraction,
+            batch_size_fn=self._batch_size_fn,
+            batch_size=self._static_batch_size,
+        )
+
+    def with_taus(self, taus: Mapping[str, float]) -> "BatchAwareCostModel":
+        return BatchAwareCostModel(
+            self.inner.with_taus(taus),
+            shared_fraction=self.shared_fraction,
+            batch_size_fn=self._batch_size_fn,
+            batch_size=self._static_batch_size,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchAwareCostModel({self.inner!r}, "
+            f"shared_fraction={self.shared_fraction:.3g}, "
+            f"B={self.batch_size():.2f})"
+        )
+
+
 COST_MODELS: dict[str, type[CostModel]] = {
     "Agenda": AgendaCostModel,
     "FORA": ForaCostModel,

@@ -177,6 +177,8 @@ class QuotaSystem:
         queue_capacity: int = 256,
         deadline_s: float | None = None,
         drain_idle: bool = True,
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
     ) -> "ServingRuntime":
         """Build a live :class:`~repro.serving.ServingRuntime` sharing
         this system's algorithm, controller, Seed budget, and metrics.
@@ -197,6 +199,8 @@ class QuotaSystem:
             deadline_s=deadline_s,
             controller=self.controller,
             drain_idle=drain_idle,
+            max_batch=max_batch,
+            batch_window_s=batch_window_s,
             cache=self.cache,
             metrics=self.metrics,
         )

@@ -45,6 +45,8 @@ COUNTERS = frozenset(
         "serving.shed",
         "serving.timeout",
         "serving.faults",
+        "serving.batches",
+        "serving.batched_queries",
         "cache.hits",
         "cache.misses",
         "cache.insertions",
@@ -67,6 +69,9 @@ HISTOGRAMS = frozenset(
         "serving.wait",
         "serving.response",
         "service.query_hit",
+        "service.query_batch",
+        # batch sizes (a count per dispatched batch, not seconds)
+        "serving.batch_size",
     }
 )
 

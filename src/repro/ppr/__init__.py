@@ -29,6 +29,14 @@ from repro.ppr.base import (
 from repro.ppr.csr import CSRView, csr_view
 from repro.ppr.fora import Fora, ForaPlus
 from repro.ppr.forward_push import PushResult, forward_push
+from repro.ppr.kernels import (
+    ENGINES,
+    BatchPushResult,
+    batched_frontier_push,
+    frontier_push,
+    reference_frontier_push,
+    resolve_engine,
+)
 from repro.ppr.power_iteration import ppr_exact, ppr_exact_all_pairs
 from repro.ppr.random_walk import WalkIndex, sample_walk_terminals
 from repro.ppr.resacc import ResAcc
@@ -49,8 +57,14 @@ ALGORITHMS = {
 
 __all__ = [
     "ALGORITHMS",
+    "ENGINES",
     "Agenda",
+    "BatchPushResult",
     "CSRView",
+    "batched_frontier_push",
+    "frontier_push",
+    "reference_frontier_push",
+    "resolve_engine",
     "DynamicPPRAlgorithm",
     "Fora",
     "ForaPlus",

@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -215,12 +215,16 @@ class DynamicPPRAlgorithm(ABC):
     is_index_based: bool = False
     #: names of tunable hyperparameters, in beta-vector order
     hyperparameter_names: tuple[str, ...] = ()
+    #: kernel engines this algorithm can execute (subset of
+    #: ``repro.ppr.kernels.ENGINES``); algorithms opt in per engine
+    supported_engines: tuple[str, ...] = ("scalar",)
 
     def __init__(self, graph: DynamicGraph, params: PPRParams | None = None):
         self.graph = graph
         self.params = params or PPRParams()
         self.timers = SubProcessTimers()
         self.last_query_stats = QueryStats()
+        self.engine = "scalar"
         self._rng = np.random.default_rng()
 
     def seed(self, seed: int) -> None:
@@ -259,6 +263,24 @@ class DynamicPPRAlgorithm(ABC):
     def _on_hyperparameters_changed(self) -> None:
         """Hook for index-based algorithms to resize their index."""
 
+    # -- kernel engine ----------------------------------------------------
+    def set_engine(self, engine: str) -> None:
+        """Select the push-kernel engine for this algorithm instance.
+
+        ``engine`` must be a valid kernel name *and* one this algorithm
+        supports (:attr:`supported_engines`).  Algorithms without
+        vectorized paths accept only ``"scalar"``.
+        """
+        from repro.ppr.kernels import resolve_engine
+
+        resolve_engine(engine)
+        if engine not in self.supported_engines:
+            raise ValueError(
+                f"{self.name} does not support engine {engine!r}; "
+                f"supported: {self.supported_engines}"
+            )
+        self.engine = engine
+
     # -- views -----------------------------------------------------------
     @property
     def view(self) -> CSRView:
@@ -276,6 +298,17 @@ class DynamicPPRAlgorithm(ABC):
 
         Returns the resolved update (insert/delete).
         """
+
+    def query_batch(self, sources: Sequence[int]) -> list[PPRVector]:
+        """Answer B same-snapshot queries (one result per source).
+
+        The default loops :meth:`query`; algorithms with a ``batched``
+        engine override this to run all sources through one shared
+        ``(B, n)`` kernel sweep.  Callers must not interleave updates
+        within a batch — the serving runtime flushes updates between
+        batches to keep every row on one snapshot.
+        """
+        return [self.query(source) for source in sources]
 
     # -- defaults shared by Push+Walk algorithms --------------------------
     def default_hyperparameters(self) -> dict[str, float]:

@@ -20,6 +20,7 @@ two complexity terms; Quota's whole point is that this is generally
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -33,7 +34,8 @@ from repro.ppr.base import (
     clip_unit,
 )
 from repro.ppr.forward_push import forward_push
-from repro.ppr.pushwalk import add_walk_estimates
+from repro.ppr.kernels import batched_frontier_push
+from repro.ppr.pushwalk import add_walk_estimates, add_walk_estimates_batch
 from repro.ppr.random_walk import WalkIndex
 
 
@@ -50,15 +52,19 @@ class Fora(DynamicPPRAlgorithm):
     name = "FORA"
     is_index_based = False
     hyperparameter_names = ("r_max",)
+    supported_engines = ("scalar", "frontier", "batched")
 
     def __init__(
         self,
         graph: DynamicGraph,
         params: PPRParams | None = None,
         r_max: float | None = None,
+        engine: str = "scalar",
     ) -> None:
         super().__init__(graph, params)
         self.r_max = r_max if r_max is not None else self.default_r_max()
+        if engine != "scalar":
+            self.set_engine(engine)
 
     def default_r_max(self) -> float:
         """The paper's complexity-balancing default 1/sqrt(alpha m K)."""
@@ -76,7 +82,11 @@ class Fora(DynamicPPRAlgorithm):
         stats = QueryStats()
         with self.timers.measure("Forward Push"):
             push = forward_push(
-                view, view.to_index(source), self.params.alpha, self.r_max
+                view,
+                view.to_index(source),
+                self.params.alpha,
+                self.r_max,
+                engine=self.engine,
             )
             stats.pushes = push.pushes
         with self.timers.measure("Random Walk"):
@@ -92,6 +102,39 @@ class Fora(DynamicPPRAlgorithm):
             stats.walks = walk.num_walks
         self.last_query_stats = stats
         return PPRVector(push.reserve, view, source)
+
+    def query_batch(self, sources: Sequence[int]) -> list[PPRVector]:
+        """Same-snapshot batch; one (B, n) kernel when engine="batched"."""
+        if self.engine != "batched" or len(sources) <= 1:
+            return super().query_batch(sources)
+        view = self.view
+        stats = QueryStats()
+        source_indices = np.array(
+            [view.to_index(s) for s in sources], dtype=np.int64
+        )
+        with self.timers.measure("Forward Push"):
+            push = batched_frontier_push(
+                view, source_indices, self.params.alpha, self.r_max
+            )
+            stats.pushes = push.pushes
+        with self.timers.measure("Random Walk"):
+            walk = add_walk_estimates_batch(
+                view,
+                push.reserve,
+                push.residue,
+                self.params.alpha,
+                self.params.num_walks(view.n),
+                self._rng,
+                index=self._walk_index(),
+            )
+            stats.walks = walk.num_walks
+        stats.extra["batch_size"] = len(sources)
+        stats.extra["sweeps"] = push.sweeps
+        self.last_query_stats = stats
+        return [
+            PPRVector(push.reserve[b], view, source)
+            for b, source in enumerate(sources)
+        ]
 
     def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
         with self.timers.measure("Graph Update"):
@@ -115,8 +158,9 @@ class ForaPlus(Fora):
         graph: DynamicGraph,
         params: PPRParams | None = None,
         r_max: float | None = None,
+        engine: str = "scalar",
     ) -> None:
-        super().__init__(graph, params, r_max)
+        super().__init__(graph, params, r_max, engine)
         self._index: WalkIndex | None = None
         self._ensure_index()
 

@@ -55,6 +55,7 @@ def forward_push(
     r_max: float,
     residue: np.ndarray | None = None,
     reserve: np.ndarray | None = None,
+    engine: str = "scalar",
 ) -> PushResult:
     """Run Forward Push from ``source_index`` until no node is active.
 
@@ -73,12 +74,26 @@ def forward_push(
         SpeedPPR's power-iteration phase); fresh vectors with
         residue[source] = 1 when omitted.  Passed arrays are mutated in
         place.
+    engine:
+        ``"scalar"`` (this module's deque loop, the oracle path) or
+        ``"frontier"``/``"batched"`` for the vectorized synchronous
+        kernel of :mod:`repro.ppr.kernels` (single-source, the two
+        names coincide here).  The schedules differ, so results agree
+        only up to the r_max approximation slack (see kernels module
+        docstring).
 
     Returns
     -------
     PushResult
         Final reserve/residue arrays and push count.
     """
+    if engine != "scalar":
+        from repro.ppr import kernels
+
+        kernels.resolve_engine(engine)
+        return kernels.frontier_push(
+            view, source_index, alpha, r_max, residue=residue, reserve=reserve
+        )
     n = view.n
     if n == 0:
         empty = np.zeros(0, dtype=np.float64)

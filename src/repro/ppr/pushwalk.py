@@ -83,3 +83,47 @@ def add_walk_estimates(
             terminals = index.terminals_for(int(node), int(count))
             np.add.at(reserve, terminals, weight)
     return WalkPhaseResult(int(counts.sum()), int(holders.size))
+
+
+def add_walk_estimates_batch(
+    view: CSRView,
+    reserves: np.ndarray,
+    residues: np.ndarray,
+    alpha: float,
+    num_walks_k: int,
+    rng: np.random.Generator,
+    index: WalkIndex | None = None,
+) -> WalkPhaseResult:
+    """Walk phase over a ``(B, n)`` batch of push results.
+
+    Residue holders of *all* rows are flattened into one
+    :func:`~repro.ppr.random_walk.sample_walk_terminals` call (the
+    walks are independent, so lock-step simulation across rows is
+    exact), and terminals scatter into the flat reserve at
+    ``row * n + terminal``.  ``reserves`` is mutated in place.
+
+    With a precomputed ``index`` the terminals of a node are shared
+    deterministic samples, so rows are served per-node from the store
+    exactly as :func:`add_walk_estimates` does.
+    """
+    b_idx, v_idx = np.nonzero(residues > 0.0)
+    if b_idx.size == 0:
+        return WalkPhaseResult(0, 0)
+    res = residues[b_idx, v_idx]
+    counts = np.ceil(res * num_walks_k).astype(np.int64)
+    np.maximum(counts, 1, out=counts)
+    weights = res / counts
+
+    n = view.n
+    flat_reserves = reserves.reshape(-1)
+    if index is None:
+        starts = np.repeat(v_idx, counts)
+        walk_rows = np.repeat(b_idx, counts)
+        per_walk_weight = np.repeat(weights, counts)
+        terminals = sample_walk_terminals(view, starts, alpha, rng)
+        np.add.at(flat_reserves, walk_rows * n + terminals, per_walk_weight)
+    else:
+        for row, node, count, weight in zip(b_idx, v_idx, counts, weights):
+            terminals = index.terminals_for(int(node), int(count))
+            np.add.at(flat_reserves, int(row) * n + terminals, weight)
+    return WalkPhaseResult(int(counts.sum()), int(b_idx.size))

@@ -18,6 +18,7 @@ folded into the constants.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 
 import numpy as np
 from scipy import sparse
@@ -31,8 +32,9 @@ from repro.ppr.base import (
     QueryStats,
     clip_unit,
 )
+from repro.ppr.kernels import power_phase
 from repro.ppr.power_iteration import transition_matrix
-from repro.ppr.pushwalk import add_walk_estimates
+from repro.ppr.pushwalk import add_walk_estimates, add_walk_estimates_batch
 from repro.ppr.random_walk import WalkIndex
 
 
@@ -49,17 +51,21 @@ class SpeedPPR(DynamicPPRAlgorithm):
     name = "SpeedPPR"
     is_index_based = False
     hyperparameter_names = ("r_max",)
+    supported_engines = ("scalar", "frontier", "batched")
 
     def __init__(
         self,
         graph: DynamicGraph,
         params: PPRParams | None = None,
         r_max: float | None = None,
+        engine: str = "scalar",
     ) -> None:
         super().__init__(graph, params)
         self._matrix_t: sparse.csr_matrix | None = None
         self._matrix_view = None
         self.r_max = r_max if r_max is not None else self.default_r_max()
+        if engine != "scalar":
+            self.set_engine(engine)
 
     def default_r_max(self) -> float:
         """Default that balances sweeps against walks: 1/sqrt(m W)."""
@@ -95,18 +101,27 @@ class SpeedPPR(DynamicPPRAlgorithm):
         stats = QueryStats()
         alpha = self.params.alpha
         with self.timers.measure("Power Iteration"):
-            matrix_t = self._transition_t()
             residue = np.zeros(view.n, dtype=np.float64)
             residue[view.to_index(source)] = 1.0
             reserve = np.zeros(view.n, dtype=np.float64)
             stop_mass = min(self.r_max * max(view.m, 1), 0.999)
-            sweeps = 0
-            # Each sweep multiplies the residue mass by (1 - alpha), so
-            # the loop runs ~ log(1/(r_max m)) / log(1/(1-alpha)) times.
-            while residue.sum() > stop_mass and sweeps < 200:
-                reserve += alpha * residue
-                residue = (1.0 - alpha) * (matrix_t @ residue)
-                sweeps += 1
+            if self.engine != "scalar":
+                # frontier/batched: sweep the raw (possibly slack) CSR
+                # rows directly — no packed scipy matrix to rebuild
+                # after graph deltas.
+                reserve, residue, sweeps = power_phase(
+                    view, residue, reserve, alpha, stop_mass
+                )
+            else:
+                matrix_t = self._transition_t()
+                sweeps = 0
+                # Each sweep multiplies the residue mass by (1 - alpha),
+                # so the loop runs ~ log(1/(r_max m)) / log(1/(1-alpha))
+                # times.
+                while residue.sum() > stop_mass and sweeps < 200:
+                    reserve += alpha * residue
+                    residue = (1.0 - alpha) * (matrix_t @ residue)
+                    sweeps += 1
             stats.extra["sweeps"] = sweeps
         with self.timers.measure("Random Walk"):
             walk = add_walk_estimates(
@@ -121,6 +136,56 @@ class SpeedPPR(DynamicPPRAlgorithm):
             stats.walks = walk.num_walks
         self.last_query_stats = stats
         return PPRVector(reserve, view, source)
+
+    def query_batch(self, sources: Sequence[int]) -> list[PPRVector]:
+        """Same-snapshot batch; engine="batched" sweeps all B columns.
+
+        PowerPush is mass-preserving, so every column's residue mass
+        after k sweeps is exactly (1 - alpha)^k — all sources cross the
+        ``stop_mass`` threshold on the same sweep and a single
+        ``(n, B)`` matrix product per sweep serves the whole batch.
+        """
+        if self.engine != "batched" or len(sources) <= 1:
+            return super().query_batch(sources)
+        view = self.view
+        stats = QueryStats()
+        alpha = self.params.alpha
+        b_count = len(sources)
+        source_indices = np.array(
+            [view.to_index(s) for s in sources], dtype=np.int64
+        )
+        with self.timers.measure("Power Iteration"):
+            matrix_t = self._transition_t()
+            residues = np.zeros((view.n, b_count), dtype=np.float64)
+            residues[source_indices, np.arange(b_count)] = 1.0
+            reserves = np.zeros((view.n, b_count), dtype=np.float64)
+            stop_mass = min(self.r_max * max(view.m, 1), 0.999)
+            sweeps = 0
+            while residues[:, 0].sum() > stop_mass and sweeps < 200:
+                reserves += alpha * residues
+                residues = (1.0 - alpha) * (matrix_t @ residues)
+                sweeps += 1
+            stats.extra["sweeps"] = sweeps
+        with self.timers.measure("Random Walk"):
+            # walk phase expects (B, n) row-major batches
+            reserves_b = np.ascontiguousarray(reserves.T)
+            residues_b = np.ascontiguousarray(residues.T)
+            walk = add_walk_estimates_batch(
+                view,
+                reserves_b,
+                residues_b,
+                alpha,
+                self._num_walks(),
+                self._rng,
+                index=self._walk_index(),
+            )
+            stats.walks = walk.num_walks
+        stats.extra["batch_size"] = b_count
+        self.last_query_stats = stats
+        return [
+            PPRVector(reserves_b[b], view, source)
+            for b, source in enumerate(sources)
+        ]
 
     def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
         with self.timers.measure("Graph Update"):
@@ -143,8 +208,9 @@ class SpeedPPRPlus(SpeedPPR):
         graph: DynamicGraph,
         params: PPRParams | None = None,
         r_max: float | None = None,
+        engine: str = "scalar",
     ) -> None:
-        super().__init__(graph, params, r_max)
+        super().__init__(graph, params, r_max, engine)
         self._index: WalkIndex | None = None
         self._ensure_index()
 

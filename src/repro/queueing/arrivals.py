@@ -50,7 +50,17 @@ class ArrivalProcess(ABC):
             chunk = self.inter_arrivals(max(int(expected) + 16, 16), rng)
             arrivals = np.asarray(total + np.cumsum(chunk), dtype=np.float64)
             times.append(arrivals)
-            total = float(arrivals[-1])
+            advanced = float(arrivals[-1])
+            if advanced <= total:
+                # a whole chunk of zero gaps would spin this loop
+                # forever; that violates the strictly-positive
+                # inter-arrival contract, so fail loudly
+                raise RuntimeError(
+                    f"{type(self).__name__}.inter_arrivals made no "
+                    f"progress (all gaps <= 0); inter-arrival gaps "
+                    f"must be strictly positive"
+                )
+            total = advanced
         all_times = np.concatenate(times)
         return np.asarray(all_times[all_times < t_end], dtype=np.float64)
 
@@ -70,13 +80,18 @@ class PoissonArrivals(ArrivalProcess):
 
 
 class UniformArrivals(ArrivalProcess):
-    """Inter-arrivals uniform on (0, 2/rate) — mean 1/rate, CV 1/sqrt(3)."""
+    """Inter-arrivals uniform on (0, 2/rate] — mean 1/rate, CV 1/sqrt(3)."""
 
     def inter_arrivals(
         self, count: int, rng: np.random.Generator
     ) -> FloatArray:
+        # rng.random() draws from [0, 1), so 1 - draw lies in (0, 1]:
+        # gaps stay strictly positive (rng.uniform's half-open interval
+        # includes 0.0, which creates duplicate timestamps and can
+        # stall generate's chunk loop)
         return np.asarray(
-            rng.uniform(0.0, 2.0 / self.rate, size=count), dtype=np.float64
+            (1.0 - rng.random(size=count)) * (2.0 / self.rate),
+            dtype=np.float64,
         )
 
 
@@ -147,8 +162,19 @@ class TraceArrivals(ArrivalProcess):
         arr = np.asarray(sorted(times), dtype=np.float64)
         if arr.size and arr[0] < 0:
             raise ValueError("trace timestamps must be non-negative")
-        span = float(arr[-1]) if arr.size else 1.0
-        super().__init__(rate=max(arr.size / max(span, 1e-12), 1e-12))
+        if arr.size >= 2 and float(arr[-1]) <= 0.0:
+            # every timestamp is 0.0: the span is empty and any rate
+            # estimate would be meaningless (the old 1e-12 clamp
+            # produced rates near 1e12, poisoning downstream
+            # traffic-intensity estimates)
+            raise ValueError(
+                "trace has multiple events but zero time span; "
+                "cannot estimate an arrival rate"
+            )
+        # a single event (or none) carries no span information: fall
+        # back to a 1-second window instead of a degenerate clamp
+        span = float(arr[-1]) if arr.size and float(arr[-1]) > 0.0 else 1.0
+        super().__init__(rate=max(arr.size / span, 1e-12))
         self._times: FloatArray = arr
 
     def inter_arrivals(

@@ -16,10 +16,25 @@ from __future__ import annotations
 import math
 
 
+def _require_rates(lambda_q: float, lambda_u: float) -> None:
+    """Reject negative arrival rates.
+
+    A negative lambda yields rho < 0 and negative "waiting" times that
+    an optimizer will happily chase; rates are frequencies and must be
+    non-negative.
+    """
+    if lambda_q < 0 or lambda_u < 0:
+        raise ValueError(
+            f"arrival rates must be non-negative, got "
+            f"lambda_q={lambda_q}, lambda_u={lambda_u}"
+        )
+
+
 def traffic_intensity(
     lambda_q: float, lambda_u: float, t_q: float, t_u: float
 ) -> float:
     """rho = lambda_q * t_q + lambda_u * t_u (Definition 2)."""
+    _require_rates(lambda_q, lambda_u)
     return lambda_q * t_q + lambda_u * t_u
 
 
@@ -56,6 +71,7 @@ def expected_response_time(
         with tuning mean query/update times"); 1.0 matches
         exponential-like service variability.
     """
+    _require_rates(lambda_q, lambda_u)
     if t_q < 0 or t_u < 0:
         raise ValueError("service times must be non-negative")
     rho = traffic_intensity(lambda_q, lambda_u, t_q, t_u)
@@ -79,6 +95,8 @@ def unstable_response_growth(
     """
     if lambda_q <= 0:
         raise ValueError("lambda_q must be positive")
+    if lambda_u < 0:
+        raise ValueError(f"lambda_u must be non-negative, got {lambda_u}")
     rho = traffic_intensity(lambda_q, lambda_u, t_q, t_u)
     return max(rho - 1.0, 0.0) / lambda_q
 
@@ -104,6 +122,7 @@ def mm1_response_time(
     Cruder than Eq. 2 — it ignores the service-time mixture's true
     variance — but needs no CV inputs.
     """
+    _require_rates(lambda_q, lambda_u)
     if t_q < 0 or t_u < 0:
         raise ValueError("service times must be non-negative")
     total_rate = lambda_q + lambda_u
@@ -133,6 +152,7 @@ def heavy_traffic_response_time(
     queue runs close to saturation, where Eq. 2 and the M/M/1 form
     under-weight variability.
     """
+    _require_rates(lambda_q, lambda_u)
     if t_q < 0 or t_u < 0:
         raise ValueError("service times must be non-negative")
     total_rate = lambda_q + lambda_u

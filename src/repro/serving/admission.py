@@ -89,6 +89,19 @@ class AdmissionQueue:
         self._depth.set(self._queue.qsize())
         return ticket
 
+    def poll(self) -> Ticket | None:
+        """Pop the oldest waiting ticket without blocking; None if empty.
+
+        Used by the batch-dispatch path to opportunistically coalesce
+        already-queued queries behind the one just taken.
+        """
+        try:
+            ticket = self._queue.get_nowait()
+        except queue.Empty:
+            return None
+        self._depth.set(self._queue.qsize())
+        return ticket
+
     def task_done(self) -> None:
         """Mark the most recently taken ticket as fully processed."""
         self._queue.task_done()

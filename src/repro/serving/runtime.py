@@ -210,6 +210,22 @@ class ServingRuntime:
         Apply deferred updates while the admission queue is empty.
     idle_tick_s:
         Worker poll interval when idle (also bounds stop latency).
+    max_batch:
+        Maximum queries coalesced into one dispatch (1 disables
+        batching).  A worker that takes a query opportunistically pops
+        further *consecutive* queries from the admission queue — up to
+        this many, within ``batch_window_s`` — and serves them through
+        ``algorithm.query_batch`` on one snapshot.  The first
+        non-query ticket ends collection and is processed right after
+        the batch (its FIFO position: it arrived after every query in
+        the batch), so updates flush *between* batches and every row
+        of a batch observes one graph version.  Best paired with an
+        algorithm on the ``batched`` kernel engine; with the default
+        looping ``query_batch`` it still amortizes lock traffic.
+    batch_window_s:
+        How long a collecting worker waits for stragglers once the
+        admission queue runs empty (0 = only coalesce what is already
+        queued).
     cache:
         Optional :class:`~repro.cache.PPRCache`.  Queries look up
         before computing (a hit skips the read lock and the Seed flush
@@ -237,6 +253,8 @@ class ServingRuntime:
         query_fn: QueryFn | None = None,
         drain_idle: bool = True,
         idle_tick_s: float = 0.02,
+        max_batch: int = 1,
+        batch_window_s: float = 0.0,
         cache: PPRCache | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -244,6 +262,10 @@ class ServingRuntime:
             raise ValueError("workers must be >= 1")
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be >= 0")
         self.algorithm = algorithm
         self.workers = workers
         self.epsilon_r = epsilon_r
@@ -251,6 +273,8 @@ class ServingRuntime:
         self.controller = controller
         self.drain_idle = drain_idle
         self.idle_tick_s = idle_tick_s
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
         self.metrics = metrics if metrics is not None else get_metrics()
         self.decisions: list[QuotaDecision] = []
         self.records: list[ServedRequest] = []
@@ -481,7 +505,7 @@ class ServingRuntime:
                     self._idle_drain(wid)
                 continue
             try:
-                self._process(ticket, wid)
+                self._dispatch(ticket, wid)
             except Exception:  # pragma: no cover - defensive; never die
                 self._record(
                     ServedRequest(
@@ -497,6 +521,58 @@ class ServingRuntime:
                 self.metrics.counter("serving.faults").inc()
             finally:
                 self._admission.task_done()
+
+    def _dispatch(self, ticket: Ticket, wid: int) -> None:
+        """Route one taken ticket, coalescing queries when enabled.
+
+        The caller (the worker loop) owns ``task_done`` for ``ticket``;
+        this method owns it for every *extra* ticket it pops while
+        collecting a batch, including the non-query stopper.
+        """
+        if ticket.request.kind != QUERY or self.max_batch <= 1:
+            self._process(ticket, wid)
+            return
+        extras, stopper = self._collect_batch()
+        try:
+            if extras:
+                self._process_query_batch([ticket, *extras], wid)
+            else:
+                self._process(ticket, wid)
+        finally:
+            for _ in extras:
+                self._admission.task_done()
+            if stopper is not None:
+                # arrived after every query in the batch, so running it
+                # now preserves FIFO; updates therefore flush *between*
+                # batches, never inside one
+                try:
+                    self._process(stopper, wid)
+                finally:
+                    self._admission.task_done()
+
+    def _collect_batch(self) -> tuple[list[Ticket], Ticket | None]:
+        """Pop up to ``max_batch - 1`` further consecutive queries.
+
+        Collection ends at the batch cap, at the first non-query
+        ticket (returned as the *stopper*), or once the admission queue
+        stays empty past ``batch_window_s``.
+        """
+        extras: list[Ticket] = []
+        stopper: Ticket | None = None
+        deadline = time.perf_counter() + self.batch_window_s
+        while len(extras) < self.max_batch - 1:
+            ticket = self._admission.poll()
+            if ticket is None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    break
+                time.sleep(min(remaining, 0.001))
+                continue
+            if ticket.request.kind != QUERY:
+                stopper = ticket
+                break
+            extras.append(ticket)
+        return extras, stopper
 
     def _process(self, ticket: Ticket, wid: int) -> None:
         request = ticket.request
@@ -557,37 +633,46 @@ class ServingRuntime:
         )
 
     # -- queries -------------------------------------------------------
+    def _try_cache(self, ticket: Ticket, wid: int) -> bool:
+        """Serve one query from the result cache; False on a miss."""
+        if self._cache is None:
+            return False
+        source = ticket.request.source
+        assert source is not None
+        lookup_started = time.perf_counter()
+        entry = self._cache.lookup(self._cache_key(source))
+        if entry is None:
+            return False
+        finished = time.perf_counter()
+        self.metrics.histogram("serving.wait").observe(
+            lookup_started - ticket.submitted_s
+        )
+        self.metrics.histogram("service.query_hit").observe(
+            finished - lookup_started
+        )
+        self.metrics.histogram("serving.response").observe(
+            finished - ticket.submitted_s
+        )
+        self._record(
+            ServedRequest(
+                ticket.request,
+                OK,
+                ticket.submitted_s,
+                lookup_started,
+                finished,
+                result=entry.value,
+                version=entry.version,
+                worker=wid,
+                cached=True,
+            )
+        )
+        return True
+
     def _process_query(self, ticket: Ticket, wid: int) -> None:
         source = ticket.request.source
         assert source is not None  # QUERY requests carry one
-        if self._cache is not None:
-            lookup_started = time.perf_counter()
-            entry = self._cache.lookup(self._cache_key(source))
-            if entry is not None:
-                finished = time.perf_counter()
-                self.metrics.histogram("serving.wait").observe(
-                    lookup_started - ticket.submitted_s
-                )
-                self.metrics.histogram("service.query_hit").observe(
-                    finished - lookup_started
-                )
-                self.metrics.histogram("serving.response").observe(
-                    finished - ticket.submitted_s
-                )
-                self._record(
-                    ServedRequest(
-                        ticket.request,
-                        OK,
-                        ticket.submitted_s,
-                        lookup_started,
-                        finished,
-                        result=entry.value,
-                        version=entry.version,
-                        worker=wid,
-                        cached=True,
-                    )
-                )
-                return
+        if self._try_cache(ticket, wid):
+            return
         with self._seed_lock:
             must_flush = len(self._seed_queue) > 0 and (
                 self._seed_queue.should_flush(source)
@@ -657,6 +742,116 @@ class ServingRuntime:
                 worker=wid,
             )
         )
+
+    def _process_query_batch(self, tickets: list[Ticket], wid: int) -> None:
+        """Serve a coalesced batch of queries on one graph snapshot.
+
+        Per-ticket QoS is preserved: expired tickets are timed out and
+        cache hits answered individually before the remainder executes
+        as a single ``query_batch`` call under one read-lock hold.
+        """
+        now = time.perf_counter()
+        live: list[Ticket] = []
+        for ticket in tickets:
+            if ticket.expired(now):
+                self.metrics.counter("serving.timeout").inc()
+                self._record(
+                    ServedRequest(
+                        ticket.request,
+                        TIMEOUT,
+                        ticket.submitted_s,
+                        now,
+                        now,
+                        worker=wid,
+                        shed_reason=SHED_DEADLINE,
+                    )
+                )
+            elif not self._try_cache(ticket, wid):
+                live.append(ticket)
+        if not live:
+            return
+        sources = [t.request.source for t in live]
+        assert all(s is not None for s in sources)
+        with self._seed_lock:
+            must_flush = len(self._seed_queue) > 0 and any(
+                self._seed_queue.should_flush(s) for s in sources
+            )
+        if must_flush:
+            self._flush_deferred(forced=True, worker=wid)
+
+        started = time.perf_counter()
+        self._rwlock.acquire_read()
+        try:
+            version = self.algorithm.graph.version
+            if self._query_fn is not None:
+                results: list[object] = [
+                    self._query_fn(self.algorithm.graph, s) for s in sources
+                ]
+            else:
+                with self._algo_lock:
+                    results = list(self.algorithm.query_batch(sources))
+            if self._cache is not None:
+                # still under the read lock (see _process_query); the
+                # batch cost is split evenly across its members
+                per_query_cost = (time.perf_counter() - started) / len(live)
+                for source, result in zip(sources, results):
+                    self._cache.insert(
+                        self._cache_key(source),
+                        result,
+                        version,
+                        cost_s=per_query_cost,
+                        pi_estimate=(
+                            result.get
+                            if isinstance(result, PPRVector)
+                            else None
+                        ),
+                    )
+        except Exception as exc:
+            finished = time.perf_counter()
+            for ticket in live:
+                self.metrics.counter("serving.faults").inc()
+                self._record(
+                    ServedRequest(
+                        ticket.request,
+                        FAILED,
+                        ticket.submitted_s,
+                        started,
+                        finished,
+                        worker=wid,
+                        error=repr(exc),
+                    )
+                )
+            return
+        finally:
+            self._rwlock.release_read()
+        finished = time.perf_counter()
+        self.metrics.counter("serving.batches").inc()
+        self.metrics.counter("serving.batched_queries").inc(len(live))
+        self.metrics.histogram("serving.batch_size").observe(
+            float(len(live))
+        )
+        self.metrics.histogram("service.query_batch").observe(
+            finished - started
+        )
+        for ticket, result in zip(live, results):
+            self.metrics.histogram("serving.wait").observe(
+                started - ticket.submitted_s
+            )
+            self.metrics.histogram("serving.response").observe(
+                finished - ticket.submitted_s
+            )
+            self._record(
+                ServedRequest(
+                    ticket.request,
+                    OK,
+                    ticket.submitted_s,
+                    started,
+                    finished,
+                    result=result,
+                    version=version,
+                    worker=wid,
+                )
+            )
 
     # -- deferred-update machinery ------------------------------------
     def _flush_deferred(self, forced: bool, worker: int = -1) -> int:

@@ -62,6 +62,24 @@ class TestDistributionShapes:
         gaps = UniformArrivals(10.0).inter_arrivals(50_000, rng)
         assert gaps.std() / gaps.mean() == pytest.approx(1 / 3**0.5, abs=0.05)
 
+    def test_uniform_gaps_strictly_positive(self):
+        """The open-interval contract: no zero gaps, ever."""
+        rng = np.random.default_rng(55)
+        gaps = UniformArrivals(10.0).inter_arrivals(200_000, rng)
+        assert np.all(gaps > 0.0)
+        assert np.all(gaps <= 2.0 / 10.0)
+
+    def test_generate_guards_against_stalled_chunks(self):
+        """A process whose gaps are all zero must raise, not spin."""
+
+        class ZeroGaps(PoissonArrivals):
+            def inter_arrivals(self, count, rng):
+                return np.zeros(count, dtype=np.float64)
+
+        rng = np.random.default_rng(56)
+        with pytest.raises(RuntimeError, match="no.*progress|progress"):
+            ZeroGaps(rate=5.0).generate(10.0, rng)
+
     def test_normal_respects_cv(self):
         rng = np.random.default_rng(6)
         gaps = NormalArrivals(10.0, cv=0.3).inter_arrivals(50_000, rng)
@@ -109,6 +127,25 @@ class TestTraceArrivals:
     def test_negative_timestamp_rejected(self):
         with pytest.raises(ValueError):
             TraceArrivals([-1.0, 2.0])
+
+    def test_rate_estimate(self):
+        trace = TraceArrivals([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert trace.rate == pytest.approx(5.0 / 4.0)
+
+    def test_all_zero_trace_rejected(self):
+        """Multiple events at t=0 have no span; the old 1e-12 clamp
+        produced a ~1e12 rate estimate."""
+        with pytest.raises(ValueError, match="span"):
+            TraceArrivals([0.0, 0.0, 0.0])
+
+    def test_single_event_at_zero_sane_rate(self):
+        trace = TraceArrivals([0.0])
+        assert trace.rate == pytest.approx(1.0)
+
+    def test_empty_trace(self):
+        trace = TraceArrivals([])
+        assert trace.rate > 0.0
+        assert trace.generate(5.0, np.random.default_rng(0)).size == 0
 
 
 class TestWikipediaLikeTrace:

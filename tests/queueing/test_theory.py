@@ -10,6 +10,10 @@ from repro.queueing import (
     traffic_intensity,
     unstable_response_growth,
 )
+from repro.queueing.theory import (
+    heavy_traffic_response_time,
+    mm1_response_time,
+)
 
 
 class TestTrafficIntensity:
@@ -77,3 +81,46 @@ class TestUnstableGrowth:
         slow = unstable_response_growth(2.0, 2.0, 0.3, 0.3)
         fast = unstable_response_growth(2.0, 8.0, 0.3, 0.3)
         assert fast > slow
+
+
+class TestNegativeRateValidation:
+    """Negative lambdas yield rho < 0 and negative waiting times the
+    optimizer would chase; every formula must reject them."""
+
+    def test_traffic_intensity_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            traffic_intensity(-1.0, 1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            traffic_intensity(1.0, -1.0, 0.1, 0.1)
+
+    def test_expected_response_time_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            expected_response_time(-1.0, 1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            expected_response_time(1.0, -1.0, 0.1, 0.1)
+
+    def test_mm1_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            mm1_response_time(-1.0, 1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            mm1_response_time(1.0, -1.0, 0.1, 0.1)
+
+    def test_heavy_traffic_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            heavy_traffic_response_time(-1.0, 1.0, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            heavy_traffic_response_time(1.0, -1.0, 0.1, 0.1)
+
+    def test_unstable_growth_rejects_negative_lambda_u(self):
+        with pytest.raises(ValueError):
+            unstable_response_growth(1.0, -1.0, 0.1, 0.1)
+
+    def test_zero_rates_still_accepted(self):
+        assert traffic_intensity(0.0, 0.0, 0.1, 0.1) == 0.0
+        assert expected_response_time(0.0, 0.0, 0.25, 0.1) == pytest.approx(
+            0.25
+        )
+        assert mm1_response_time(0.0, 0.0, 0.25, 0.1) == pytest.approx(0.25)
+        assert heavy_traffic_response_time(
+            0.0, 0.0, 0.25, 0.1
+        ) == pytest.approx(0.25)

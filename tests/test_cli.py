@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.ppr.kernels import ENGINES
 
 
 class TestParser:
@@ -23,6 +24,44 @@ class TestParser:
     def test_configure_requires_rates(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["configure"])
+
+    def test_engine_default_is_scalar(self):
+        assert build_parser().parse_args(["run"]).engine == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--engine", "simd"])
+
+
+class TestEngineGuard:
+    """Keep the CLI's engine choices and the kernel registry in sync,
+    and the scalar oracle path importable — the vectorized kernels are
+    only trustworthy while the reference they're tested against exists.
+    """
+
+    def test_cli_choices_match_kernel_registry(self):
+        run_parser = None
+        for action in build_parser()._subparsers._group_actions:
+            run_parser = action.choices.get("run")
+        assert run_parser is not None
+        engine_action = next(
+            a for a in run_parser._actions if a.dest == "engine"
+        )
+        assert tuple(engine_action.choices) == ENGINES
+
+    def test_scalar_is_registered_first(self):
+        """The oracle engine must exist and be the default."""
+        assert ENGINES[0] == "scalar"
+
+    def test_oracle_path_importable(self):
+        from repro.ppr.forward_push import forward_push
+        from repro.ppr.kernels import reference_frontier_push, resolve_engine
+
+        assert callable(forward_push)
+        assert callable(reference_frontier_push)
+        assert resolve_engine("scalar") == "scalar"
+        with pytest.raises(ValueError):
+            resolve_engine("not-an-engine")
 
 
 class TestCommands:
