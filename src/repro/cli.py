@@ -44,7 +44,7 @@ from repro.evaluation.datasets import DATASETS, get_dataset
 from repro.evaluation.metrics import ResponseTimeSummary, improvement_percent
 from repro.evaluation.report import format_table
 from repro.evaluation.runner import build_algorithm
-from repro.ppr import ALGORITHMS, ENGINES
+from repro.ppr import ALGORITHMS, ENGINE_CHOICES
 from repro.queueing.trace_io import load_workload_trace, save_workload_trace
 from repro.queueing.workload import QUERY, UPDATE, generate_workload
 
@@ -99,10 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--window", type=float, default=None)
     run.add_argument(
         "--engine",
-        default="scalar",
-        choices=ENGINES,
-        help="push-kernel engine (scalar is the oracle path; frontier/"
-        "batched use the vectorized kernels where the algorithm "
+        default="auto",
+        choices=ENGINE_CHOICES,
+        help="push-kernel engine (auto routes per call through the "
+        "cost-model dispatcher; scalar is the oracle path; frontier/"
+        "batched force the vectorized kernels where the algorithm "
         "supports them)",
     )
     run.add_argument(

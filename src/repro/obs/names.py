@@ -27,6 +27,10 @@ Naming conventions
   (capacity / staleness budget / TTL), admission rejections, bulk
   invalidations, plus the live size and online hit-rate gauges the
   cache-aware cost model reads.
+* ``dispatch.*``    — kernel-dispatcher routing accounting
+  (:mod:`repro.ppr.dispatch`): decision/override/fallback/split
+  counters plus the effective-sub-batch-size histogram (a count per
+  decision, not seconds).
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -55,6 +59,10 @@ COUNTERS = frozenset(
         "cache.evictions_staleness",
         "cache.evictions_ttl",
         "cache.invalidations",
+        "dispatch.decisions",
+        "dispatch.overrides",
+        "dispatch.fallbacks",
+        "dispatch.splits",
     }
 )
 
@@ -72,6 +80,8 @@ HISTOGRAMS = frozenset(
         "service.query_batch",
         # batch sizes (a count per dispatched batch, not seconds)
         "serving.batch_size",
+        # routed sub-batch sizes (a count per routing decision)
+        "dispatch.effective_batch",
     }
 )
 
@@ -81,6 +91,10 @@ GAUGES = frozenset(
         "serving.queue_depth",
         "cache.size",
         "cache.hit_rate",
+        # online batch auto-tuning (runtime reads the measured
+        # batch-size distribution back through BatchAwareCostModel)
+        "serving.effective_max_batch",
+        "serving.effective_batch_window_s",
     }
 )
 

@@ -152,7 +152,7 @@ class SubProcessTimers:
         self._count: dict[str, int] = {}
 
     @contextmanager
-    def measure(self, name: str):
+    def measure(self, name: str) -> Iterator[None]:
         """Context manager charging elapsed wall time to ``name``."""
         start = time.perf_counter()
         try:
@@ -219,7 +219,9 @@ class DynamicPPRAlgorithm(ABC):
     #: ``repro.ppr.kernels.ENGINES``); algorithms opt in per engine
     supported_engines: tuple[str, ...] = ("scalar",)
 
-    def __init__(self, graph: DynamicGraph, params: PPRParams | None = None):
+    def __init__(
+        self, graph: DynamicGraph, params: PPRParams | None = None
+    ) -> None:
         self.graph = graph
         self.params = params or PPRParams()
         self.timers = SubProcessTimers()
@@ -267,13 +269,18 @@ class DynamicPPRAlgorithm(ABC):
     def set_engine(self, engine: str) -> None:
         """Select the push-kernel engine for this algorithm instance.
 
-        ``engine`` must be a valid kernel name *and* one this algorithm
-        supports (:attr:`supported_engines`).  Algorithms without
-        vectorized paths accept only ``"scalar"``.
+        ``engine`` must be ``"auto"`` or a valid kernel name this
+        algorithm supports (:attr:`supported_engines`).  ``"auto"``
+        hands each call to the :mod:`repro.ppr.dispatch` cost-model
+        router; on algorithms without vectorized paths it degrades to
+        ``"scalar"`` (there is nothing to route).
         """
-        from repro.ppr.kernels import resolve_engine
+        from repro.ppr.dispatch import AUTO, resolve_engine_choice
 
-        resolve_engine(engine)
+        resolve_engine_choice(engine)
+        if engine == AUTO:
+            self.engine = AUTO if len(self.supported_engines) > 1 else "scalar"
+            return
         if engine not in self.supported_engines:
             raise ValueError(
                 f"{self.name} does not support engine {engine!r}; "

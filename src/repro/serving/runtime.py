@@ -64,6 +64,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.cache import VECTOR, CacheKey, PPRCache, StalenessTracker, make_key
+from repro.core.cost_models import BatchAwareCostModel
 from repro.core.quota import QuotaController, QuotaDecision
 from repro.core.seed import SeedQueue
 from repro.graph.digraph import DynamicGraph
@@ -226,6 +227,23 @@ class ServingRuntime:
         How long a collecting worker waits for stragglers once the
         admission queue runs empty (0 = only coalesce what is already
         queued).
+    batch_model:
+        Optional :class:`~repro.core.cost_models.BatchAwareCostModel`.
+        When given, the runtime closes the loop the model was built
+        for: after every ``tune_every`` dispatched batches it reads
+        the model's *measured* batch-size distribution
+        (``batch_size()``, typically the ``serving.batch_size``
+        histogram mean) and the dispatcher residency cap, and retunes
+        the live ``max_batch``/``batch_window_s`` — the cap bounds the
+        batch at what stays cache-resident, thin measured batches
+        shrink the window toward 0, and saturated batches widen it
+        (up to ``2 * batch_window_s`` or 2 ms, whichever is larger).
+        The constructor values act as the configured ceiling/seed;
+        the live values are exported on the
+        ``serving.effective_max_batch`` /
+        ``serving.effective_batch_window_s`` gauges.
+    tune_every:
+        Batches between auto-tune evaluations (with ``batch_model``).
     cache:
         Optional :class:`~repro.cache.PPRCache`.  Queries look up
         before computing (a hit skips the read lock and the Seed flush
@@ -255,6 +273,8 @@ class ServingRuntime:
         idle_tick_s: float = 0.02,
         max_batch: int = 1,
         batch_window_s: float = 0.0,
+        batch_model: BatchAwareCostModel | None = None,
+        tune_every: int = 16,
         cache: PPRCache | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
@@ -266,6 +286,8 @@ class ServingRuntime:
             raise ValueError("max_batch must be >= 1")
         if batch_window_s < 0:
             raise ValueError("batch_window_s must be >= 0")
+        if tune_every < 1:
+            raise ValueError("tune_every must be >= 1")
         self.algorithm = algorithm
         self.workers = workers
         self.epsilon_r = epsilon_r
@@ -275,7 +297,15 @@ class ServingRuntime:
         self.idle_tick_s = idle_tick_s
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
+        self.batch_model = batch_model
+        self.tune_every = tune_every
         self.metrics = metrics if metrics is not None else get_metrics()
+        # live (auto-tuned) batching knobs; the constructor values are
+        # the configured ceiling/seed (see class docstring)
+        self._effective_max_batch = max_batch
+        self._effective_window_s = batch_window_s
+        self._batches_since_tune = 0
+        self._tune_lock = threading.Lock()
         self.decisions: list[QuotaDecision] = []
         self.records: list[ServedRequest] = []
 
@@ -470,6 +500,16 @@ class ServingRuntime:
     def queue_depth(self) -> int:
         return self._admission.depth
 
+    @property
+    def effective_max_batch(self) -> int:
+        """Live batch cap (auto-tuned when a ``batch_model`` is set)."""
+        return self._effective_max_batch
+
+    @property
+    def effective_batch_window_s(self) -> float:
+        """Live straggler window (auto-tuned with a ``batch_model``)."""
+        return self._effective_window_s
+
     # ------------------------------------------------------------------
     # worker internals
     # ------------------------------------------------------------------
@@ -529,7 +569,7 @@ class ServingRuntime:
         this method owns it for every *extra* ticket it pops while
         collecting a batch, including the non-query stopper.
         """
-        if ticket.request.kind != QUERY or self.max_batch <= 1:
+        if ticket.request.kind != QUERY or self._effective_max_batch <= 1:
             self._process(ticket, wid)
             return
         extras, stopper = self._collect_batch()
@@ -559,8 +599,8 @@ class ServingRuntime:
         """
         extras: list[Ticket] = []
         stopper: Ticket | None = None
-        deadline = time.perf_counter() + self.batch_window_s
-        while len(extras) < self.max_batch - 1:
+        deadline = time.perf_counter() + self._effective_window_s
+        while len(extras) < self._effective_max_batch - 1:
             ticket = self._admission.poll()
             if ticket is None:
                 remaining = deadline - time.perf_counter()
@@ -830,6 +870,7 @@ class ServingRuntime:
         self.metrics.histogram("serving.batch_size").observe(
             float(len(live))
         )
+        self._maybe_retune_batching()
         self.metrics.histogram("service.query_batch").observe(
             finished - started
         )
@@ -852,6 +893,57 @@ class ServingRuntime:
                     worker=wid,
                 )
             )
+
+    # -- online batch auto-tuning --------------------------------------
+    def _maybe_retune_batching(self) -> None:
+        """Retune the live batching knobs every ``tune_every`` batches."""
+        if self.batch_model is None:
+            return
+        with self._tune_lock:
+            self._batches_since_tune += 1
+            if self._batches_since_tune < self.tune_every:
+                return
+            self._batches_since_tune = 0
+        self.retune_batching()
+
+    def retune_batching(self) -> tuple[int, float]:
+        """Feed the measured batch-size distribution back into admission.
+
+        Closes the ROADMAP loop: :class:`BatchAwareCostModel` collects
+        the ``serving.batch_size`` distribution but nothing read it
+        back.  The live cap becomes the configured ``max_batch``
+        bounded by the dispatcher's cache-residency cap for the
+        current graph size; the straggler window shrinks by half when
+        measured batches are too thin to amortize anything (mean
+        < 2) and widens by half (bounded by ``2 * batch_window_s`` or
+        2 ms) when batches saturate three quarters of the cap.
+        Returns the new ``(max_batch, window_s)`` pair and exports it
+        on the ``serving.effective_*`` gauges.
+        """
+        model = self.batch_model
+        if model is None:
+            return self._effective_max_batch, self._effective_window_s
+        import os
+
+        from repro.ppr.dispatch import DispatchCostModel
+
+        cost = DispatchCostModel.from_batch_model(model).with_env(os.environ)
+        n = max(self.algorithm.graph.num_nodes, 1)
+        new_max = max(1, min(self.max_batch, cost.resident_cap(n)))
+        measured = model.batch_size()
+        window = self._effective_window_s
+        window_hi = max(2.0 * self.batch_window_s, 0.002)
+        if measured < 2.0:
+            window *= 0.5
+            if window < 1e-5:
+                window = 0.0
+        elif measured >= 0.75 * new_max:
+            window = min(max(window * 1.5, 1e-4), window_hi)
+        self._effective_max_batch = new_max
+        self._effective_window_s = window
+        self.metrics.gauge("serving.effective_max_batch").set(float(new_max))
+        self.metrics.gauge("serving.effective_batch_window_s").set(window)
+        return new_max, window
 
     # -- deferred-update machinery ------------------------------------
     def _flush_deferred(self, forced: bool, worker: int = -1) -> int:

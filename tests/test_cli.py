@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.ppr.dispatch import ENGINE_CHOICES
 from repro.ppr.kernels import ENGINES
 
 
@@ -25,8 +26,9 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["configure"])
 
-    def test_engine_default_is_scalar(self):
-        assert build_parser().parse_args(["run"]).engine == "scalar"
+    def test_engine_default_is_auto(self):
+        """The dispatcher routes by default; static engines override."""
+        assert build_parser().parse_args(["run"]).engine == "auto"
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(SystemExit):
@@ -47,7 +49,8 @@ class TestEngineGuard:
         engine_action = next(
             a for a in run_parser._actions if a.dest == "engine"
         )
-        assert tuple(engine_action.choices) == ENGINES
+        assert tuple(engine_action.choices) == ENGINE_CHOICES
+        assert ENGINE_CHOICES == ("auto",) + ENGINES
 
     def test_scalar_is_registered_first(self):
         """The oracle engine must exist and be the default."""
