@@ -1,7 +1,7 @@
 """Command line for reprolint: ``python -m repro.analysis [paths...]``.
 
 Exit codes: 0 clean (or warnings only), 1 error-severity findings,
-2 unreadable/unparsable input or usage error.
+2 unreadable/unparsable input, broken baseline, or usage error.
 """
 
 from __future__ import annotations
@@ -11,15 +11,19 @@ import sys
 from collections.abc import Sequence
 
 from repro.analysis.engine import (
+    PROJECT_RULES,
     RULES,
     LintConfig,
+    apply_baseline,
     exit_code,
     format_findings,
+    load_baseline,
     run_paths,
+    write_baseline,
 )
 
-# importing the rule pack populates the registry
-from repro.analysis import rules as _rules  # noqa: F401
+# importing the package populates both rule registries
+import repro.analysis as _analysis  # noqa: F401
 
 
 def _parse_ids(raw: str | None) -> frozenset[str] | None:
@@ -33,7 +37,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="reprolint",
         description=(
             "Project-specific AST lint for the Quota/Seed codebase "
-            "(rules R1-R6; see docs/DEVELOPMENT.md)"
+            "(per-file rules R1-R6, project concurrency rules R7-R11; "
+            "see docs/DEVELOPMENT.md)"
         ),
     )
     parser.add_argument(
@@ -44,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format",
     )
@@ -61,23 +66,46 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-scope",
         action="store_true",
-        help="apply scoped rules (R2, R6) to every linted file",
+        help="apply scoped rules (R2, R6, R11) to every linted file",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="lint per-file rules in N worker processes "
+        "(the project-wide pass stays in-process)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="report only findings not present in this baseline snapshot",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot the current findings to FILE and exit 0",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule registry and exit",
+        help="print the rule registry (both families) and exit",
     )
     return parser
 
 
 def list_rules() -> str:
     lines = []
-    for rule_id, cls in RULES.items():
-        lines.append(f"{rule_id}  {cls.name} [{cls.severity}]")
-        lines.append(f"    {cls.rationale}")
-        if cls.example:
-            lines.append(f"    e.g. {cls.example}")
+    for heading, registry in (
+        ("per-file rules", RULES),
+        ("project rules", PROJECT_RULES),
+    ):
+        lines.append(f"# {heading}")
+        for rule_id, cls in registry.items():
+            lines.append(f"{rule_id}  {cls.name} [{cls.severity}]")
+            lines.append(f"    {cls.rationale}")
+            if cls.example:
+                lines.append(f"    e.g. {cls.example}")
     return "\n".join(lines)
 
 
@@ -86,8 +114,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(list_rules())
         return 0
+    if args.jobs < 1:
+        print("--jobs must be >= 1", file=sys.stderr)
+        return 2
     select = _parse_ids(args.select)
-    unknown = (select or frozenset()) - RULES.keys()
+    known = RULES.keys() | PROJECT_RULES.keys()
+    unknown = (select or frozenset()) - known
     if unknown:
         print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
         return 2
@@ -96,7 +128,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         ignore=_parse_ids(args.ignore) or frozenset(),
         restrict_scopes=not args.no_scope,
     )
-    findings, errors = run_paths(args.paths, config)
+    findings, errors = run_paths(args.paths, config, jobs=args.jobs)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"reprolint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
     output = format_findings(findings, args.format)
     if output:
         print(output)
@@ -105,9 +153,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     status = exit_code(findings, errors)
     if args.format == "text":
         noun = "finding" if len(findings) == 1 else "findings"
+        extras = ""
+        if suppressed:
+            extras += f", {suppressed} baselined"
+        if errors:
+            extras += f", {len(errors)} unparsable file(s)"
         print(
-            f"reprolint: {len(findings)} {noun}"
-            + (f", {len(errors)} unparsable file(s)" if errors else ""),
+            f"reprolint: {len(findings)} {noun}{extras}",
             file=sys.stderr,
         )
     return status

@@ -1,0 +1,595 @@
+"""Concurrency-discipline rules R7-R11 (project-wide, interprocedural).
+
+These rules run over the :class:`~repro.analysis.project.ProjectIndex`
+— the call graph plus the lock-context dataflow — and machine-check
+the serving runtime's locking discipline that docs/DEVELOPMENT.md so
+far only *described*:
+
+=====  ====================  ===============================================
+R7     lock-order            self-deadlocks (read→write upgrade, recursive
+                             acquisition) and cyclic acquisition order
+R8     blocking-under-write  PPR kernels / IO / sleeps inside write
+                             critical sections
+R9     guarded-by            writes to ``# guarded-by:`` attributes outside
+                             the declared lock context
+R10    snapshot-escape       interprocedural CSR-view lifetime (extends R3
+                             across calls and lock releases)
+R11    metric-in-critical    metric-registry access inside serving critical
+                             sections
+=====  ====================  ===============================================
+
+All five are *may*-analyses over the union of contexts a function can
+be entered under; the model's assumptions and limits are documented in
+:mod:`repro.analysis.project` and docs/DEVELOPMENT.md.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ProjectRule, register_project
+from repro.analysis.project import (
+    MUTATING_METHODS,
+    MUTEX,
+    READ,
+    WRITE,
+    Event,
+    FunctionInfo,
+    Held,
+    ProjectIndex,
+    expr_text,
+)
+
+
+def _ordered_events(info: FunctionInfo) -> list[Event]:
+    """Events in source order (walk order is close; sorting pins it)."""
+    return sorted(info.events, key=lambda e: (e.line, e.col))
+
+
+# ----------------------------------------------------------------------
+# R7: lock order / self-deadlock
+# ----------------------------------------------------------------------
+@register_project
+class LockOrderRule(ProjectRule):
+    """Self-deadlocks and cyclic lock-acquisition order.
+
+    Two failure classes the write-preferring RWLock makes concrete:
+
+    * **Self-deadlock** — re-acquiring a lock this thread may already
+      hold.  A read→write *upgrade* waits for all readers to drain,
+      including the upgrading thread; a *recursive read* blocks behind
+      any waiting writer (write preference stalls new readers); write
+      and mutex re-acquisition block on themselves outright.
+    * **Order cycle** — thread 1 takes A then B while thread 2 takes B
+      then A.  Every acquisition made while another lock is held
+      contributes a directed edge; any cycle in that graph is a
+      potential deadlock regardless of modes (even read-read, again
+      because of write preference).
+    """
+
+    rule_id = "R7"
+    name = "lock-order"
+    severity = "error"
+    rationale = (
+        "The serving path holds up to three locks (rwlock, seed, "
+        "records); a single out-of-order acquisition or read-to-write "
+        "upgrade deadlocks the worker pool under write preference."
+    )
+    example = (
+        "with lock.read_locked():\n    with lock.write_locked(): ..."
+        "  ->  release the read hold first"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        #: (from_lock, to_lock) -> first acquisition site
+        edges: dict[tuple[str, str], tuple[str, int, int, str]] = {}
+        for info in project.functions.values():
+            for event in info.iter_events("acquire"):
+                acquired = event.data
+                assert isinstance(acquired, Held)
+                held = info.effective(event)
+                yield from self._self_deadlocks(info, event, acquired, held)
+                for prior in sorted(held, key=lambda h: h.lock):
+                    if prior.lock == acquired.lock:
+                        continue
+                    edge = (prior.lock, acquired.lock)
+                    edges.setdefault(
+                        edge,
+                        (
+                            info.module.path,
+                            event.line,
+                            event.col,
+                            f"{acquired.describe()} while holding "
+                            f"{prior.describe()} in {info.qualname}",
+                        ),
+                    )
+        yield from self._order_cycles(edges)
+
+    def _self_deadlocks(
+        self,
+        info: FunctionInfo,
+        event: Event,
+        acquired: Held,
+        held: frozenset[Held],
+    ) -> Iterator[Finding]:
+        for prior in sorted(held, key=lambda h: (h.lock, h.mode)):
+            if prior.lock != acquired.lock:
+                continue
+            if prior.mode == READ and acquired.mode == WRITE:
+                why = (
+                    "read->write upgrade self-deadlocks: the writer "
+                    "waits for all readers to drain, including this "
+                    "thread's own read hold"
+                )
+            elif prior.mode == READ and acquired.mode == READ:
+                why = (
+                    "recursive read acquisition deadlocks behind a "
+                    "waiting writer (write preference blocks new readers)"
+                )
+            else:
+                why = (
+                    f"re-acquiring non-reentrant {acquired.describe()} "
+                    f"while already holding {prior.describe()} blocks "
+                    "this thread on itself"
+                )
+            yield self.finding(
+                info.module.path,
+                event.line,
+                event.col,
+                f"acquiring {acquired.describe()} while "
+                f"{prior.describe()} may be held in {info.qualname}: "
+                f"{why}",
+            )
+
+    def _order_cycles(
+        self, edges: dict[tuple[str, str], tuple[str, int, int, str]]
+    ) -> Iterator[Finding]:
+        graph: dict[str, set[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, set()).add(dst)
+        for (src, dst), (path, line, col, label) in sorted(edges.items()):
+            cycle = self._path(graph, dst, src)
+            if cycle is None:
+                continue
+            chain = " -> ".join([src, *cycle])
+            yield self.finding(
+                path,
+                line,
+                col,
+                f"lock-order cycle: acquiring {label} conflicts with "
+                f"the reverse acquisition order {chain} elsewhere in "
+                "the project; pick one global order",
+            )
+
+    @staticmethod
+    def _path(
+        graph: dict[str, set[str]], start: str, goal: str
+    ) -> list[str] | None:
+        """Shortest edge path start..goal, or None (BFS, deterministic)."""
+        queue = deque([[start]])
+        seen = {start}
+        while queue:
+            trail = queue.popleft()
+            node = trail[-1]
+            if node == goal:
+                return trail
+            for succ in sorted(graph.get(node, ())):
+                if succ not in seen:
+                    seen.add(succ)
+                    queue.append(trail + [succ])
+        return None
+
+
+# ----------------------------------------------------------------------
+# R8: blocking / unbounded compute under a write lock
+# ----------------------------------------------------------------------
+@register_project
+class BlockingUnderWriteRule(ProjectRule):
+    """No kernels, IO, or sleeps inside a write critical section.
+
+    Queries run under read holds and scale out; everything under the
+    write lock serializes the whole runtime — the paper's QoS target
+    (Section V's update/query interleaving) dies the moment a PPR
+    kernel or a blocking syscall runs there.  The write section should
+    contain the CSR patch and nothing else.
+    """
+
+    rule_id = "R8"
+    name = "blocking-under-write"
+    severity = "error"
+    rationale = (
+        "A write hold stalls every reader; unbounded compute (PPR "
+        "kernels) or blocking IO inside it turns tail latency into "
+        "outage."
+    )
+    example = (
+        "with rwlock.write_locked(): algo.query(s)"
+        "  ->  compute under a read hold, mutate under the write hold"
+    )
+
+    #: dotted stdlib calls that block (module-resolved via import aliases)
+    BLOCKING_DOTTED = frozenset({"time.sleep", "os.system"})
+    #: any call into these modules blocks or may block on the network
+    BLOCKING_MODULES = frozenset(
+        {"socket", "subprocess", "requests", "urllib"}
+    )
+    #: builtins that block on IO
+    BLOCKING_NAMES = frozenset({"open", "input"})
+    #: PPR kernel entry points (unbounded compute; repro.ppr)
+    KERNELS = frozenset(
+        {
+            "frontier_push",
+            "batched_frontier_push",
+            "reference_frontier_push",
+            "power_phase",
+            "forward_push",
+            "ppr_exact",
+            "power_iteration",
+        }
+    )
+    #: algorithm methods that run a kernel
+    KERNEL_METHODS = frozenset({"query", "query_batch"})
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for info in project.functions.values():
+            for event in info.iter_events("call"):
+                write_holds = [
+                    h
+                    for h in info.effective(event)
+                    if h.mode == WRITE
+                ]
+                if not write_holds:
+                    continue
+                call = event.data
+                assert isinstance(call, ast.Call)
+                label = self._blocking_label(call, info)
+                if label is None:
+                    continue
+                lock = sorted(write_holds, key=lambda h: h.lock)[0]
+                yield self.finding(
+                    info.module.path,
+                    event.line,
+                    event.col,
+                    f"{label} inside the {lock.describe()} critical "
+                    f"section in {info.qualname}; the write hold "
+                    "serializes all readers — move it outside the lock",
+                )
+
+    def _blocking_label(
+        self, call: ast.Call, info: FunctionInfo
+    ) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.BLOCKING_NAMES:
+                return f"blocking IO call '{func.id}()'"
+            if func.id in self.KERNELS:
+                return f"PPR kernel call '{func.id}()' (unbounded compute)"
+            return None
+        dotted = expr_text(func)
+        if dotted is not None and "." in dotted:
+            head, rest = dotted.split(".", 1)
+            resolved = f"{info.module.aliases.get(head, head)}.{rest}"
+            if resolved in self.BLOCKING_DOTTED:
+                return f"blocking call '{resolved}()'"
+            if resolved.split(".", 1)[0] in self.BLOCKING_MODULES:
+                return f"blocking call '{resolved}()'"
+        if isinstance(func, ast.Attribute):
+            if func.attr in self.KERNELS:
+                return (
+                    f"PPR kernel call '.{func.attr}()' (unbounded compute)"
+                )
+            if func.attr in self.KERNEL_METHODS:
+                return (
+                    f"PPR query call '.{func.attr}()' (unbounded compute)"
+                )
+        return None
+
+
+# ----------------------------------------------------------------------
+# R9: guarded-by annotations
+# ----------------------------------------------------------------------
+@register_project
+class GuardedByRule(ProjectRule):
+    """Writes to ``# guarded-by:`` attributes need the declared lock.
+
+    ``self._degraded = False  # guarded-by: self._rwlock[write]`` on
+    the attribute's assignment in ``__init__`` declares the contract;
+    every other method that assigns, augments, deletes, subscript-
+    stores, or calls a mutating container method on the attribute must
+    do so in a context where the declared lock may be held (``[read]``/
+    ``[write]`` pin the RWLock mode; bare names accept any mode).
+    ``__init__``/``__new__`` are exempt — the object is not shared yet.
+    """
+
+    rule_id = "R9"
+    name = "guarded-by"
+    severity = "error"
+    rationale = (
+        "Shared mutable runtime state (degradation flag, record lists, "
+        "cache maps) is only safe under its declared lock; an unlocked "
+        "write is a data race the GIL merely makes rare."
+    )
+    example = (
+        "self.records.append(r)  outside  with self._records_lock:"
+        "  ->  take the declared lock first"
+    )
+
+    EXEMPT = frozenset({"__init__", "__new__"})
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        if not project.guarded:
+            return
+        for info in project.functions.values():
+            if info.class_name is None or info.simple_name in self.EXEMPT:
+                continue
+            for event in info.events:
+                attr = self._written_attr(event)
+                if attr is None:
+                    continue
+                guard = project.guarded.get((info.class_name, attr))
+                if guard is None:
+                    continue
+                lock, mode, decl_path, decl_line = guard
+                if self._satisfied(lock, mode, info.effective(event)):
+                    continue
+                need = f"{lock}[{mode}]" if mode else lock
+                yield self.finding(
+                    info.module.path,
+                    event.line,
+                    event.col,
+                    f"write to 'self.{attr}' in {info.qualname} outside "
+                    f"its declared lock context {need} (declared at "
+                    f"{decl_path}:{decl_line}); acquire the lock or fix "
+                    "the annotation",
+                )
+
+    @staticmethod
+    def _written_attr(event: Event) -> str | None:
+        if event.kind == "attr_write":
+            attr = event.data
+            assert isinstance(attr, str)
+            return attr
+        if event.kind == "call":
+            call = event.data
+            assert isinstance(call, ast.Call)
+            func = call.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATING_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in ("self", "cls")
+            ):
+                return func.value.attr
+        return None
+
+    @staticmethod
+    def _satisfied(
+        lock: str, mode: str | None, held: frozenset[Held]
+    ) -> bool:
+        for h in held:
+            if h.lock != lock:
+                continue
+            if mode is None:
+                return True
+            if h.mode == mode:
+                return True
+            # a write hold subsumes a declared read requirement
+            if mode == READ and h.mode == WRITE:
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R10: interprocedural CSR-snapshot escape
+# ----------------------------------------------------------------------
+@register_project
+class SnapshotEscapeRule(ProjectRule):
+    """CSR views must not outlive their snapshot — across calls too.
+
+    The per-function R3 catches ``view = csr_view(g); g.add_edge(...);
+    view.use()`` in one body.  This rule extends the same lifetime
+    contract through the call graph and the lock model:
+
+    * **hidden mutation** — the staling call is a project function
+      that (transitively) mutates the graph;
+    * **hidden acquisition** — the view came from a helper that
+      (transitively) returns ``csr_view(...)``;
+    * **lock escape** — the view was captured under a read/write hold
+      and is still used after that hold is released (the writer may
+      have refreshed the snapshot the moment the lock dropped).
+
+    Purely local direct cases stay R3's — one finding per defect.
+    """
+
+    rule_id = "R10"
+    name = "snapshot-escape"
+    severity = "error"
+    rationale = (
+        "Snapshot isolation is the serving correctness contract: a "
+        "view that crosses a mutation or its lock release reads "
+        "patched arrays (undefined adjacency)."
+    )
+    example = (
+        "view = get_view(g)  # helper returns csr_view\n"
+        "flush(g)            # helper mutates\n"
+        "view.out_neighbors_of(u)  ->  re-obtain the view"
+    )
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for info in project.functions.values():
+            yield from self._check_function(project, info)
+
+    def _check_function(
+        self, project: ProjectIndex, info: FunctionInfo
+    ) -> Iterator[Finding]:
+        #: var -> (acquired-directly, snapshot locks, acquisition line)
+        views: dict[str, tuple[bool, frozenset[Held], int]] = {}
+        #: var -> (stale label, staled-by-direct-mutator)
+        stale: dict[str, tuple[str, bool]] = {}
+        escape_reported: set[str] = set()
+        for event in _ordered_events(info):
+            if event.kind == "view_assign":
+                varname, call = event.data  # type: ignore[misc]
+                assert isinstance(call, ast.Call)
+                if project.call_yields_view(call, info):
+                    direct = _is_direct_view_call(call)
+                    locks = frozenset(
+                        h for h in event.held if h.mode in (READ, WRITE)
+                    )
+                    views[varname] = (direct, locks, event.line)
+                    stale.pop(varname, None)
+                    escape_reported.discard(varname)
+                else:
+                    views.pop(varname, None)
+                    stale.pop(varname, None)
+            elif event.kind == "call":
+                call = event.data
+                assert isinstance(call, ast.Call)
+                verdict = project.call_mutates_graph(call, info)
+                if verdict is None:
+                    continue
+                _, direct_mut, label = verdict
+                for varname in views:
+                    if varname not in stale:
+                        stale[varname] = (label, direct_mut)
+            elif event.kind == "load":
+                varname = event.data
+                assert isinstance(varname, str)
+                if varname not in views:
+                    continue
+                direct_acq, locks, acq_line = views[varname]
+                if varname in stale:
+                    label, direct_mut = stale.pop(varname)
+                    if not (direct_acq and direct_mut):
+                        how = (
+                            f"call to '{label}()' which mutates the "
+                            "graph"
+                            if not direct_mut
+                            else f"graph mutation '{label}()'"
+                        )
+                        via = (
+                            ""
+                            if direct_acq
+                            else " (view obtained via a helper that "
+                            "returns csr_view)"
+                        )
+                        yield self.finding(
+                            info.module.path,
+                            event.line,
+                            event.col,
+                            f"CSR view '{varname}' in {info.qualname} "
+                            f"used after {how}{via}; re-obtain the view "
+                            "after mutating",
+                        )
+                missing = locks - frozenset(event.held)
+                if missing and varname not in escape_reported:
+                    escape_reported.add(varname)
+                    lost = ", ".join(
+                        h.describe()
+                        for h in sorted(missing, key=lambda h: h.lock)
+                    )
+                    yield self.finding(
+                        info.module.path,
+                        event.line,
+                        event.col,
+                        f"CSR view '{varname}' in {info.qualname} "
+                        f"(captured under {lost} at line {acq_line}) "
+                        "used after the lock was released; the writer "
+                        "may have refreshed the snapshot — re-obtain "
+                        "the view inside the critical section",
+                    )
+
+
+def _is_direct_view_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "csr_view"
+    return isinstance(func, ast.Attribute) and func.attr == "csr_view"
+
+
+# ----------------------------------------------------------------------
+# R11: metric-registry access in serving critical sections
+# ----------------------------------------------------------------------
+@register_project
+class MetricInCriticalSectionRule(ProjectRule):
+    """No metric-registry calls inside serving critical sections.
+
+    ``MetricsRegistry`` is shared across every worker; ``histogram()``
+    / ``counter()`` lookups allocate on first use and contend on the
+    registry dict.  Inside a write hold or a mutex on the serving hot
+    path that contention extends the critical section for *all*
+    readers.  Record the duration first, observe after release.
+    """
+
+    rule_id = "R11"
+    name = "metric-in-critical"
+    severity = "error"
+    rationale = (
+        "Metric recording is observability, not state transition; "
+        "keeping it out of critical sections keeps write holds "
+        "minimal, which is the paper's QoS lever."
+    )
+    example = (
+        "with rwlock.write_locked():\n"
+        "    ...\n"
+        "    metrics.histogram('service.update').observe(dt)\n"
+        "  ->  observe after releasing the write lock"
+    )
+
+    REGISTRY_METHODS = frozenset({"counter", "histogram", "gauge", "time"})
+
+    def check_project(self, project: ProjectIndex) -> Iterator[Finding]:
+        for info in project.functions.values():
+            if not self._in_scope(info):
+                continue
+            for event in info.iter_events("call"):
+                critical = [
+                    h
+                    for h in info.effective(event)
+                    if h.mode in (WRITE, MUTEX)
+                ]
+                if not critical:
+                    continue
+                call = event.data
+                assert isinstance(call, ast.Call)
+                method = self._registry_call(call)
+                if method is None:
+                    continue
+                lock = sorted(critical, key=lambda h: h.lock)[0]
+                yield self.finding(
+                    info.module.path,
+                    event.line,
+                    event.col,
+                    f"metric-registry call '.{method}()' inside the "
+                    f"{lock.describe()} critical section in "
+                    f"{info.qualname}; record the value and observe "
+                    "after releasing the lock",
+                )
+
+    @staticmethod
+    def _in_scope(info: FunctionInfo) -> bool:
+        config = info.module.lint.config
+        if not config.restrict_scopes:
+            return True
+        from pathlib import Path
+
+        parts = Path(info.module.path).parts
+        return any(p in parts for p in config.metric_critical_parts)
+
+    def _registry_call(self, call: ast.Call) -> str | None:
+        func = call.func
+        if (
+            not isinstance(func, ast.Attribute)
+            or func.attr not in self.REGISTRY_METHODS
+        ):
+            return None
+        receiver = expr_text(func.value)
+        if receiver is None:
+            return None
+        leaf = receiver.rsplit(".", 1)[-1].lower()
+        if "metric" in leaf or "registry" in leaf:
+            return func.attr
+        return None

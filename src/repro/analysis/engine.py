@@ -18,6 +18,14 @@ Architecture
   rule, filters suppressed findings, and returns the survivors sorted
   by location.
 
+Two rule families share the engine: per-file :class:`Rule` subclasses
+(registered in :data:`RULES`) see one :class:`LintModule` at a time,
+while :class:`ProjectRule` subclasses (registered in
+:data:`PROJECT_RULES`) see a whole-project index — module graph, call
+graph, and the lock-context dataflow of
+:mod:`repro.analysis.project` — and power the interprocedural
+concurrency rules R7-R11 in :mod:`repro.analysis.concurrency`.
+
 Suppressions
 ------------
 ``# reprolint: disable=R2`` on the flagged line suppresses that rule
@@ -25,7 +33,17 @@ there (add a justifying comment — the docs treat a bare suppression as
 a review smell).  ``# reprolint: disable-file=R6`` anywhere in the
 file suppresses the rule for the whole file.  Several ids may be
 given, comma-separated; free text after the ids is ignored so the
-justification can share the comment.
+justification can share the comment.  A suppression naming an unknown
+rule id is reported as a warning (``R0``) instead of silently doing
+nothing — a typo'd id must not read as a working allowlist entry.
+
+Baselines
+---------
+:func:`write_baseline` snapshots the current findings;
+:func:`apply_baseline` filters a later run down to *new* findings
+only.  Fingerprints deliberately exclude line numbers (they drift on
+every unrelated edit): a finding matches the baseline when the same
+``(rule, file, message)`` triple was snapshotted, with multiplicity.
 """
 
 from __future__ import annotations
@@ -36,15 +54,29 @@ import io
 import json
 import re
 import tokenize
+from collections import Counter
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
 #: finding severities, in increasing order of gravity
 SEVERITIES = ("warning", "error")
 
+#: pseudo rule id for suppression-hygiene warnings (unknown ids in a
+#: ``# reprolint: disable=...`` comment); not in the registries, but
+#: suppressible like any other id
+SUPPRESSION_HYGIENE_ID = "R0"
+
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
     r"(?P<ids>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+#: ``# guarded-by: self._lock`` / ``# guarded-by: self._rwlock[write]``
+#: — declares the lock context required to *write* the attribute
+#: assigned on that line (rule R9; see docs/DEVELOPMENT.md)
+_GUARDED_BY_RE = re.compile(
+    r"#\s*guarded-by:\s*(?P<expr>[A-Za-z_][\w.]*)"
+    r"(?:\[(?P<mode>read|write)\])?"
 )
 
 
@@ -90,6 +122,9 @@ class LintConfig:
         "quota.py",
         "theory.py",
     )
+    #: path parts scoping R11 (metric mutation in critical sections)
+    #: to the serving hot path
+    metric_critical_parts: tuple[str, ...] = ("serving",)
     #: override for the metric-name registry (None = parse repro.obs.names)
     metric_counters: frozenset[str] | None = None
     metric_histograms: frozenset[str] | None = None
@@ -106,6 +141,11 @@ class LintModule:
         self.tree = ast.parse(source, filename=path)
         self.line_disables: dict[int, set[str]] = {}
         self.file_disables: set[str] = set()
+        #: every id mentioned in a suppression, with the comment's line
+        #: (for the unknown-id hygiene warning)
+        self.suppression_ids: list[tuple[int, str]] = []
+        #: line -> (lock expression, mode or None) from ``# guarded-by:``
+        self.guard_annotations: dict[int, tuple[str, str | None]] = {}
         self._scan_suppressions()
 
     # ------------------------------------------------------------------
@@ -120,10 +160,17 @@ class LintModule:
         except (tokenize.TokenError, IndentationError):  # pragma: no cover
             comments = []
         for line, text in comments:
+            guard = _GUARDED_BY_RE.search(text)
+            if guard is not None:
+                self.guard_annotations[line] = (
+                    guard.group("expr"),
+                    guard.group("mode"),
+                )
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
             ids = {part.strip() for part in match.group("ids").split(",")}
+            self.suppression_ids.extend((line, rule_id) for rule_id in ids)
             if match.group(1) == "disable-file":
                 self.file_disables |= ids
             else:
@@ -175,20 +222,74 @@ class Rule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-project (multi-file) rules.
+
+    Where :class:`Rule` sees one module, a project rule's
+    :meth:`check_project` sees a :class:`repro.analysis.project.
+    ProjectIndex` — every parsed module plus the call graph and
+    lock-context dataflow — and may yield findings in *any* of them.
+    Suppression filtering still happens per finding, against the
+    suppression table of the module the finding lands in.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    severity: str = "error"
+    rationale: str = ""
+    example: str = ""
+
+    def check_project(self, project: object) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            severity=self.severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+        )
+
+
 #: rule-id -> rule class, in registration order
 RULES: dict[str, type[Rule]] = {}
 
+#: rule-id -> project-rule class, in registration order
+PROJECT_RULES: dict[str, type[ProjectRule]] = {}
 
-def register(cls: type[Rule]) -> type[Rule]:
-    """Class decorator adding a rule to the registry."""
+
+def _validate_rule(cls: type, known: Iterable[str]) -> None:
     if not cls.rule_id:
         raise ValueError(f"{cls.__name__} has no rule_id")
-    if cls.rule_id in RULES:
+    if cls.rule_id in known:
         raise ValueError(f"duplicate rule id {cls.rule_id}")
     if cls.severity not in SEVERITIES:
         raise ValueError(f"{cls.rule_id}: unknown severity {cls.severity!r}")
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a per-file rule to the registry."""
+    _validate_rule(cls, RULES.keys() | PROJECT_RULES.keys())
     RULES[cls.rule_id] = cls
     return cls
+
+
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a project-wide rule to the registry."""
+    _validate_rule(cls, RULES.keys() | PROJECT_RULES.keys())
+    PROJECT_RULES[cls.rule_id] = cls
+    return cls
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every registered rule id, both families, plus the hygiene id."""
+    return frozenset(RULES) | frozenset(PROJECT_RULES) | {
+        SUPPRESSION_HYGIENE_ID
+    }
 
 
 # ----------------------------------------------------------------------
@@ -206,70 +307,324 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterator[Path]:
             yield path
 
 
+def _enabled(rule_id: str, config: LintConfig) -> bool:
+    if config.select is not None and rule_id not in config.select:
+        return False
+    return rule_id not in config.ignore
+
+
 def selected_rules(config: LintConfig) -> list[Rule]:
-    """Instantiate the rules enabled by ``select``/``ignore``."""
-    chosen = []
-    for rule_id, cls in RULES.items():
-        if config.select is not None and rule_id not in config.select:
-            continue
-        if rule_id in config.ignore:
-            continue
-        chosen.append(cls())
-    return chosen
+    """Instantiate the per-file rules enabled by ``select``/``ignore``."""
+    return [
+        cls() for rule_id, cls in RULES.items() if _enabled(rule_id, config)
+    ]
 
 
-def run_source(
-    source: str, path: str, config: LintConfig | None = None
-) -> list[Finding]:
-    """Lint one in-memory source string (the test entry point)."""
-    config = config or LintConfig()
-    module = LintModule(path, source, config)
+def selected_project_rules(config: LintConfig) -> list[ProjectRule]:
+    """Instantiate the project rules enabled by ``select``/``ignore``."""
+    return [
+        cls()
+        for rule_id, cls in PROJECT_RULES.items()
+        if _enabled(rule_id, config)
+    ]
+
+
+def suppression_hygiene(module: LintModule) -> list[Finding]:
+    """Warn on suppressions naming rule ids that do not exist.
+
+    A typo'd id (``disable=R22``) must not silently read as a working
+    allowlist entry; the warning keeps exit codes unchanged (0) but
+    surfaces the dead suppression.
+    """
+    known = known_rule_ids()
+    findings = []
+    for line, rule_id in module.suppression_ids:
+        if rule_id in known:
+            continue
+        findings.append(
+            Finding(
+                rule_id=SUPPRESSION_HYGIENE_ID,
+                severity="warning",
+                path=module.path,
+                line=line,
+                col=0,
+                message=(
+                    f"suppression names unknown rule id '{rule_id}' "
+                    "(it suppresses nothing); known ids: "
+                    + ", ".join(sorted(known - {SUPPRESSION_HYGIENE_ID}))
+                ),
+            )
+        )
+    return findings
+
+
+def lint_module(module: LintModule) -> list[Finding]:
+    """Per-file rules + suppression hygiene over one parsed module."""
     findings: list[Finding] = []
-    for rule in selected_rules(config):
+    for rule in selected_rules(module.config):
         if not rule.applies_to(module):
             continue
         for finding in rule.check(module):
             if not module.is_suppressed(finding):
                 findings.append(finding)
+    for finding in suppression_hygiene(module):
+        if not module.is_suppressed(finding):
+            findings.append(finding)
+    return findings
+
+
+def run_source(
+    source: str, path: str, config: LintConfig | None = None
+) -> list[Finding]:
+    """Lint one in-memory source string (the test entry point).
+
+    Runs the per-file rules only; project rules need a
+    :class:`~repro.analysis.project.ProjectIndex` (see
+    :func:`run_paths` or ``project.run_project_sources``).
+    """
+    config = config or LintConfig()
+    findings = lint_module(LintModule(path, source, config))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings
 
 
+def _lint_file_worker(
+    path_str: str, config: LintConfig
+) -> tuple[list[Finding], str | None]:
+    """Read + lint one file (top-level so ``--jobs`` can pickle it)."""
+    # worker processes import this module fresh; make sure the rule
+    # pack has populated the registry before linting
+    import repro.analysis  # noqa: F401
+
+    try:
+        source = Path(path_str).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [], f"{path_str}: unreadable ({exc})"
+    try:
+        return run_source(source, path_str, config), None
+    except SyntaxError as exc:
+        return [], f"{path_str}: syntax error ({exc.msg})"
+
+
 def run_paths(
-    paths: Sequence[str | Path], config: LintConfig | None = None
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+    jobs: int = 1,
 ) -> tuple[list[Finding], list[str]]:
     """Lint files/directories.
 
     Returns ``(findings, errors)`` where ``errors`` are files that
     could not be read or parsed (reported, never silently skipped).
+    ``jobs > 1`` parses and lints the per-file rules in that many
+    worker processes; the project-wide pass (rules R7-R11) always runs
+    in-process afterwards, over every file that parsed.
     """
     config = config or LintConfig()
+    files = [str(p) for p in iter_python_files(paths)]
     findings: list[Finding] = []
     errors: list[str] = []
-    for file_path in iter_python_files(paths):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            errors.append(f"{file_path}: unreadable ({exc})")
-            continue
-        try:
-            findings.extend(run_source(source, str(file_path), config))
-        except SyntaxError as exc:
-            errors.append(f"{file_path}: syntax error ({exc.msg})")
+    if jobs > 1 and len(files) > 1:
+        import concurrent.futures
+
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs
+        ) as pool:
+            for file_findings, error in pool.map(
+                _lint_file_worker, files, [config] * len(files)
+            ):
+                findings.extend(file_findings)
+                if error is not None:
+                    errors.append(error)
+    else:
+        for file_path in files:
+            file_findings, error = _lint_file_worker(file_path, config)
+            findings.extend(file_findings)
+            if error is not None:
+                errors.append(error)
+    findings.extend(_run_project_rules(files, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return findings, errors
+
+
+def _run_project_rules(
+    files: Sequence[str], config: LintConfig
+) -> list[Finding]:
+    """Run the registered project rules over the parseable files."""
+    rules = selected_project_rules(config)
+    if not rules:
+        return []
+    # imported here to avoid an import cycle (project imports engine)
+    from repro.analysis.project import ProjectIndex
+
+    index = ProjectIndex.from_files(files, config)
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(index):
+            module = index.lint_module(finding.path)
+            if module is None or not module.is_suppressed(finding):
+                findings.append(finding)
+    return findings
 
 
 # ----------------------------------------------------------------------
 # Reporting
 # ----------------------------------------------------------------------
+def _rule_metadata(rule_id: str) -> tuple[str, str]:
+    """(short name, rationale) for a rule id, both families."""
+    cls: type[Rule] | type[ProjectRule] | None = RULES.get(
+        rule_id
+    ) or PROJECT_RULES.get(rule_id)
+    if cls is None:
+        return "suppression-hygiene", "unknown rule id in a suppression"
+    return cls.name, cls.rationale
+
+
+def format_sarif(findings: Iterable[Finding]) -> str:
+    """Render findings as a SARIF 2.1.0 log (one run, tool=reprolint).
+
+    The minimal profile GitHub code scanning and most SARIF viewers
+    consume: rule metadata on the driver, one result per finding with
+    a physical location (1-based line/column).
+    """
+    items = list(findings)
+    rules = []
+    for rule_id in sorted({f.rule_id for f in items}):
+        name, rationale = _rule_metadata(rule_id)
+        rules.append(
+            {
+                "id": rule_id,
+                "name": name,
+                "shortDescription": {"text": name},
+                "fullDescription": {"text": rationale},
+            }
+        )
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error" if f.severity == "error" else "warning",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": Path(f.path).as_posix(),
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in items
+    ]
+    log = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": (
+                            "docs/DEVELOPMENT.md#the-rules"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
 def format_findings(
     findings: Iterable[Finding], output_format: str = "text"
 ) -> str:
-    """Render findings as line-oriented text or a JSON array."""
+    """Render findings as text lines, a JSON array, or a SARIF log."""
     items = list(findings)
     if output_format == "json":
         return json.dumps([f.as_dict() for f in items], indent=2)
+    if output_format == "sarif":
+        return format_sarif(items)
     return "\n".join(f.format_text() for f in items)
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+def finding_fingerprint(finding: Finding) -> tuple[str, str, str]:
+    """Stable identity of a finding across unrelated edits.
+
+    Line/column are excluded on purpose: they drift whenever code above
+    the finding moves.  Identical triples are matched by multiplicity
+    (a file with two baselined copies of the same message tolerates
+    two, not unlimited).
+    """
+    return (finding.rule_id, Path(finding.path).as_posix(), finding.message)
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` so a later run can report only new ones."""
+    payload = {
+        "version": 1,
+        "findings": [
+            {
+                "rule_id": f.rule_id,
+                "path": Path(f.path).as_posix(),
+                "message": f.message,
+            }
+            for f in sorted(findings, key=finding_fingerprint)
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter[tuple[str, str, str]]:
+    """Load fingerprint multiplicities from a baseline file.
+
+    Raises ``ValueError`` on an unreadable or malformed file — a
+    broken baseline must fail loudly, not silently un-suppress (or
+    worse, suppress) everything.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError(f"baseline {path}: missing 'findings' key")
+    counts: Counter[tuple[str, str, str]] = Counter()
+    for item in payload["findings"]:
+        try:
+            counts[(item["rule_id"], item["path"], item["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise ValueError(
+                f"baseline {path}: malformed entry {item!r}"
+            ) from exc
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding],
+    baseline: Counter[tuple[str, str, str]],
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding_fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    return new, suppressed
 
 
 def exit_code(findings: Sequence[Finding], errors: Sequence[str]) -> int:

@@ -153,11 +153,15 @@ class PPRCache:
         self.epsilon_c = epsilon_c
         self.policy: CachePolicy = policy if policy is not None else AlwaysAdmit()
         self.metrics = metrics if metrics is not None else get_metrics()
-        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
-        self._lock = threading.Lock()
-        self._updates_seen = 0
-        self._hits = 0
-        self._lookups = 0
+        # imported lazily: repro.serving imports repro.cache at module
+        # load, so a top-level import here would be circular
+        from repro.serving.rwlock import wrap_mutex
+
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()  # guarded-by: self._lock
+        self._lock = wrap_mutex(threading.Lock(), "cache.store")
+        self._updates_seen = 0  # guarded-by: self._lock
+        self._hits = 0  # guarded-by: self._lock
+        self._lookups = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

@@ -31,6 +31,9 @@ Naming conventions
   (:mod:`repro.ppr.dispatch`): decision/override/fallback/split
   counters plus the effective-sub-batch-size histogram (a count per
   decision, not seconds).
+* ``locks.*``       — runtime lock-order sanitizer accounting
+  (:mod:`repro.serving.rwlock`, enabled by ``REPRO_LOCK_SANITIZER=1``):
+  tracked acquisitions and detected discipline violations.
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -63,6 +66,9 @@ COUNTERS = frozenset(
         "dispatch.overrides",
         "dispatch.fallbacks",
         "dispatch.splits",
+        # lock sanitizer (REPRO_LOCK_SANITIZER=1; repro.serving.rwlock)
+        "locks.acquired",
+        "locks.violations",
     }
 )
 

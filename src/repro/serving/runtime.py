@@ -79,7 +79,7 @@ from repro.serving.admission import (
     AdmissionQueue,
     Ticket,
 )
-from repro.serving.rwlock import RWLock
+from repro.serving.rwlock import RWLock, wrap_mutex
 
 #: request completed normally
 OK = "ok"
@@ -300,14 +300,18 @@ class ServingRuntime:
         self.batch_model = batch_model
         self.tune_every = tune_every
         self.metrics = metrics if metrics is not None else get_metrics()
+        # pre-resolved instrument: _fault runs inside writer critical
+        # sections, where a registry lookup is off-limits (R11); a
+        # resolved counter's inc() is O(1) and allocation-free
+        self._fault_counter = self.metrics.counter("serving.faults")
         # live (auto-tuned) batching knobs; the constructor values are
         # the configured ceiling/seed (see class docstring)
         self._effective_max_batch = max_batch
         self._effective_window_s = batch_window_s
-        self._batches_since_tune = 0
-        self._tune_lock = threading.Lock()
+        self._batches_since_tune = 0  # guarded-by: self._tune_lock
+        self._tune_lock = wrap_mutex(threading.Lock(), "serving.tune")
         self.decisions: list[QuotaDecision] = []
-        self.records: list[ServedRequest] = []
+        self.records: list[ServedRequest] = []  # guarded-by: self._records_lock
 
         self._query_fn = query_fn
         self._cache = cache
@@ -318,17 +322,20 @@ class ServingRuntime:
             if cache is not None
             else None
         )
-        self._rwlock = RWLock()
-        self._seed_lock = threading.Lock()
-        self._records_lock = threading.Lock()
-        self._algo_lock = threading.Lock()
+        # stable names feed the lock sanitizer's order graph (no-ops
+        # unless REPRO_LOCK_SANITIZER=1); the established global order
+        # is rwlock -> {seed, records, algo, tune, cache}
+        self._rwlock = RWLock(name="serving.rwlock")
+        self._seed_lock = wrap_mutex(threading.Lock(), "serving.seed")
+        self._records_lock = wrap_mutex(threading.Lock(), "serving.records")
+        self._algo_lock = wrap_mutex(threading.Lock(), "serving.algo")
         self._admission = AdmissionQueue(queue_capacity, self.metrics)
         self._seed_queue = SeedQueue(
             algorithm.graph, algorithm.params.alpha, epsilon_r
         )
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
-        self._degraded = False
+        self._degraded = False  # guarded-by: self._rwlock[write]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -482,9 +489,10 @@ class ServingRuntime:
             apply_started = time.perf_counter()
             self.algorithm.set_hyperparameters(**decision.beta)
             csr_view(self.algorithm.graph)
-            self.metrics.histogram("service.reconfigure").observe(
-                time.perf_counter() - apply_started
-            )
+            apply_elapsed_s = time.perf_counter() - apply_started
+        # R11: observe outside the write hold (registry lookups extend
+        # the critical section for every reader)
+        self.metrics.histogram("service.reconfigure").observe(apply_elapsed_s)
         self.decisions.append(decision)
         return decision
 
@@ -1005,6 +1013,7 @@ class ServingRuntime:
         # non-blocking: if the writer side is contended, skip this tick
         if not self._rwlock.acquire_write(timeout=0.0):
             return
+        update_elapsed_s: float | None = None
         try:
             with self._seed_lock:
                 head = self._seed_queue.peek()
@@ -1026,6 +1035,7 @@ class ServingRuntime:
                 assert item is not None
                 self._charge_cache(item.update)
                 finished = time.perf_counter()
+                update_elapsed_s = finished - started
                 self._record(
                     ServedRequest(
                         Request(0.0, UPDATE, update=item.update),
@@ -1038,11 +1048,12 @@ class ServingRuntime:
                     )
                 )
             csr_view(self.algorithm.graph)
-            self.metrics.histogram("service.update").observe(
-                finished - started
-            )
         finally:
             self._rwlock.release_write()
+        # R11: observe outside the write hold (registry lookups extend
+        # the critical section for every reader)
+        if update_elapsed_s is not None:
+            self.metrics.histogram("service.update").observe(update_elapsed_s)
 
     def _fault(
         self,
@@ -1051,9 +1062,14 @@ class ServingRuntime:
         worker: int,
         exc: Exception,
     ) -> None:
-        """Record a failed update and degrade to strict FCFS."""
+        """Record a failed update and degrade to strict FCFS.
+
+        Only called inside writer critical sections (the degradation
+        flag is guarded by the write lock), hence the pre-resolved
+        fault counter instead of a registry lookup.
+        """
         now = time.perf_counter()
-        self.metrics.counter("serving.faults").inc()
+        self._fault_counter.inc()
         self._degraded = True
         self._record(
             ServedRequest(

@@ -1,4 +1,4 @@
-"""A write-preferring readers-writer lock.
+"""A write-preferring readers-writer lock + runtime lock sanitizer.
 
 The serving runtime's concurrency discipline: any number of query
 workers read the graph (and its incrementally maintained CSR store)
@@ -14,44 +14,320 @@ Lock ordering contract (deadlock freedom): a thread never upgrades —
 it must not request exclusive access while holding shared access, and
 vice versa.  The runtime acquires the RW lock *before* any internal
 mutex (Seed-queue mutex, records mutex), never after.
+
+The sanitizer
+-------------
+``reprolint`` rules R7-R11 check that contract statically; the
+:class:`LockSanitizer` checks it dynamically.  Set
+``REPRO_LOCK_SANITIZER=1`` (the CI stress job does) and every
+:class:`RWLock` plus every mutex wrapped with :func:`wrap_mutex`
+reports acquisitions to a process-wide sanitizer that keeps
+
+* a per-thread stack of held locks, catching same-lock re-acquisition
+  (read→write upgrade, recursive read — both deadlock under write
+  preference — and recursive write/mutex holds), and
+* a global acquisition-order graph keyed by lock *name*, catching
+  order cycles (thread 1 takes A then B while thread 2 ever took B
+  then A) the moment the second edge appears — before anyone blocks.
+
+Violations raise :class:`LockOrderError` instead of deadlocking, so a
+stress test sees a stack trace naming both lock names and the thread,
+not a hung worker.  When the env flag is off the sanitizer is ``None``
+everywhere and the hot path pays a single attribute check.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from collections.abc import Iterator
 from contextlib import contextmanager
 
+#: env flag enabling the process-wide sanitizer
+SANITIZER_ENV = "REPRO_LOCK_SANITIZER"
+
+#: acquisition modes reported to the sanitizer
+READ = "read"
+WRITE = "write"
+MUTEX = "mutex"
+
+_anonymous = itertools.count()
+
+
+class LockOrderError(RuntimeError):
+    """A lock-discipline violation caught by :class:`LockSanitizer`.
+
+    Raised *instead of blocking*, on the acquiring thread, so the test
+    that triggered the violation fails with both lock names in the
+    message rather than deadlocking the suite.
+    """
+
+
+class LockSanitizer:
+    """Records per-thread lock acquisitions; raises on violations.
+
+    Thread-safe; one instance is shared by every tracked lock so the
+    order graph spans the whole process.  The graph is keyed by lock
+    *name* — two RWLock instances named ``serving.rwlock`` are one
+    node, which matches how the static rules qualify locks by owner
+    class rather than instance.
+    """
+
+    def __init__(self, metrics: object | None = None) -> None:
+        self._graph: dict[str, set[str]] = {}
+        self._graph_lock = threading.Lock()
+        self._tls = threading.local()
+        self._metrics = metrics
+        #: (violation message) history, for test assertions
+        self.violations: list[str] = []
+
+    # -- metrics -------------------------------------------------------
+    def _registry(self) -> object:
+        if self._metrics is None:
+            from repro.obs import get_metrics
+
+            self._metrics = get_metrics()
+        return self._metrics
+
+    def _count(self, name: str) -> None:
+        self._registry().counter(name).inc()  # type: ignore[attr-defined]
+
+    # -- per-thread stack ----------------------------------------------
+    def _stack(self) -> list[tuple[str, str]]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def held(self) -> tuple[tuple[str, str], ...]:
+        """(name, mode) pairs this thread currently holds, in order."""
+        return tuple(self._stack())
+
+    # -- hooks ----------------------------------------------------------
+    def before_acquire(self, name: str, mode: str) -> None:
+        """Validate an acquisition attempt; raises before it can block."""
+        stack = self._stack()
+        for held_name, held_mode in stack:
+            if held_name == name:
+                self._violation(self._self_deadlock_msg(
+                    name, held_mode, mode
+                ))
+        if not stack:
+            return
+        with self._graph_lock:
+            for held_name, _ in stack:
+                if held_name == name:
+                    continue
+                edges = self._graph.setdefault(held_name, set())
+                if name in edges:
+                    continue
+                trail = self._path(name, held_name)
+                if trail is not None:
+                    chain = " -> ".join([held_name, name, *trail[1:]])
+                    self._violation(
+                        f"lock-order cycle: thread "
+                        f"'{threading.current_thread().name}' acquiring "
+                        f"'{name}' [{mode}] while holding '{held_name}' "
+                        f"reverses the established order {chain}"
+                    )
+                edges.add(name)
+
+    def after_acquire(self, name: str, mode: str) -> None:
+        self._stack().append((name, mode))
+        self._count("locks.acquired")
+
+    def after_release(self, name: str, mode: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == (name, mode):
+                del stack[i]
+                return
+
+    # -- internals -------------------------------------------------------
+    @staticmethod
+    def _self_deadlock_msg(name: str, held: str, wanted: str) -> str:
+        thread = threading.current_thread().name
+        if held == READ and wanted == WRITE:
+            why = (
+                "read->write upgrade: the writer waits for its own "
+                "read hold to drain"
+            )
+        elif held == READ and wanted == READ:
+            why = (
+                "recursive read: blocks behind any waiting writer "
+                "under write preference"
+            )
+        else:
+            why = f"re-acquiring a non-reentrant {held} hold"
+        return (
+            f"self-deadlock: thread '{thread}' acquiring '{name}' "
+            f"[{wanted}] while already holding it [{held}] ({why})"
+        )
+
+    def _violation(self, message: str) -> None:
+        self.violations.append(message)
+        self._count("locks.violations")
+        raise LockOrderError(message)
+
+    def _path(self, start: str, goal: str) -> list[str] | None:
+        """DFS path start..goal in the order graph (caller holds lock)."""
+        trail = [start]
+        seen = {start}
+
+        def walk(node: str) -> bool:
+            if node == goal:
+                return True
+            for succ in sorted(self._graph.get(node, ())):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                trail.append(succ)
+                if walk(succ):
+                    return True
+                trail.pop()
+            return False
+
+        return trail if walk(start) else None
+
+
+#: process-wide sanitizer, created on first tracked-lock construction
+#: once the env flag is on (tests may swap in their own instance)
+_default: LockSanitizer | None = None
+_default_guard = threading.Lock()
+
+
+def sanitizer_enabled() -> bool:
+    """Is ``REPRO_LOCK_SANITIZER`` set to a truthy value?"""
+    return os.environ.get(SANITIZER_ENV, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )
+
+
+def default_sanitizer() -> LockSanitizer | None:
+    """The process-wide sanitizer, or None when the env flag is off."""
+    if not sanitizer_enabled():
+        return None
+    global _default
+    if _default is None:
+        with _default_guard:
+            if _default is None:
+                _default = LockSanitizer()
+    return _default
+
+
+class TrackedLock:
+    """A mutex wrapper reporting acquisitions to a sanitizer.
+
+    Duck-types the :class:`threading.Lock` surface the runtime uses
+    (context manager, ``acquire``/``release``, ``locked``); created by
+    :func:`wrap_mutex`, never directly.
+    """
+
+    def __init__(
+        self, lock: threading.Lock, name: str, sanitizer: LockSanitizer
+    ) -> None:
+        self._lock = lock
+        self._name = name
+        self._sanitizer = sanitizer
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer.before_acquire(self._name, MUTEX)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._sanitizer.after_acquire(self._name, MUTEX)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer.after_release(self._name, MUTEX)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"TrackedLock({self._name!r})"
+
+
+def wrap_mutex(
+    lock: threading.Lock,
+    name: str,
+    sanitizer: LockSanitizer | None = None,
+) -> threading.Lock | TrackedLock:
+    """Track ``lock`` under ``name`` when the sanitizer is active.
+
+    With the sanitizer off (the default) the original lock is returned
+    unchanged — zero overhead, zero behavior change.
+    """
+    active = sanitizer if sanitizer is not None else default_sanitizer()
+    if active is None:
+        return lock
+    return TrackedLock(lock, name, active)
+
 
 class RWLock:
-    """Shared/exclusive lock, write-preferring, with optional timeouts."""
+    """Shared/exclusive lock, write-preferring, with optional timeouts.
 
-    def __init__(self) -> None:
+    ``name`` identifies the lock in the sanitizer's order graph (one
+    is generated for anonymous locks); ``sanitizer`` overrides the
+    process-wide default (tests), and is ``None`` — free of overhead —
+    unless ``REPRO_LOCK_SANITIZER`` is set.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        sanitizer: LockSanitizer | None = None,
+    ) -> None:
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
         self._writers_waiting = 0
+        self.name = name if name is not None else (
+            f"rwlock-{next(_anonymous)}"
+        )
+        self._sanitizer = (
+            sanitizer if sanitizer is not None else default_sanitizer()
+        )
 
     # ------------------------------------------------------------------
     def acquire_read(self, timeout: float | None = None) -> bool:
         """Acquire shared access; False on timeout."""
+        if self._sanitizer is not None:
+            self._sanitizer.before_acquire(self.name, READ)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 if not self._wait(deadline):
                     return False
             self._readers += 1
-            return True
+        if self._sanitizer is not None:
+            self._sanitizer.after_acquire(self.name, READ)
+        return True
 
     def release_read(self) -> None:
         with self._cond:
             self._readers -= 1
             if self._readers == 0:
                 self._cond.notify_all()
+        if self._sanitizer is not None:
+            self._sanitizer.after_release(self.name, READ)
 
     def acquire_write(self, timeout: float | None = None) -> bool:
         """Acquire exclusive access; False on timeout."""
+        if self._sanitizer is not None:
+            self._sanitizer.before_acquire(self.name, WRITE)
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             self._writers_waiting += 1
@@ -60,14 +336,18 @@ class RWLock:
                     if not self._wait(deadline):
                         return False
                 self._writer_active = True
-                return True
             finally:
                 self._writers_waiting -= 1
+        if self._sanitizer is not None:
+            self._sanitizer.after_acquire(self.name, WRITE)
+        return True
 
     def release_write(self) -> None:
         with self._cond:
             self._writer_active = False
             self._cond.notify_all()
+        if self._sanitizer is not None:
+            self._sanitizer.after_release(self.name, WRITE)
 
     # ------------------------------------------------------------------
     def _wait(self, deadline: float | None) -> bool:
@@ -107,7 +387,7 @@ class RWLock:
 
     def __repr__(self) -> str:
         return (
-            f"RWLock(readers={self._readers}, "
+            f"RWLock({self.name!r}, readers={self._readers}, "
             f"writer={self._writer_active}, "
             f"waiting={self._writers_waiting})"
         )

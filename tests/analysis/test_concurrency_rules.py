@@ -1,0 +1,458 @@
+"""Positive + negative tests for the concurrency rules R7-R11.
+
+Every rule gets fixture code with an injected violation asserted at
+the right file:line, plus a clean variant that must not flag.  The
+cross-function snapshot-escape case additionally proves the
+interprocedural pass catches what the per-function R3 cannot.
+"""
+
+import textwrap
+
+import repro.analysis  # noqa: F401  (registers both rule packs)
+from repro.analysis import LintConfig, run_source
+from repro.analysis.project import run_project_sources
+
+UNSCOPED = LintConfig(restrict_scopes=False)
+
+
+def lint_project(rule_ids=None, **sources):
+    return run_project_sources(
+        {
+            f"{name}.py": textwrap.dedent(source)
+            for name, source in sources.items()
+        },
+        UNSCOPED,
+        rule_ids=rule_ids,
+    )
+
+
+def locations(findings):
+    return [(f.rule_id, f.path, f.line) for f in findings]
+
+
+class TestR7LockOrder:
+    def test_read_write_upgrade_flagged(self):
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def f(self):
+                    with self._rwlock.read_locked():
+                        with self._rwlock.write_locked():
+                            pass
+            """,
+        )
+        assert locations(findings) == [("R7", "mod.py", 5)]
+        assert "upgrade" in findings[0].message
+
+    def test_recursive_read_flagged(self):
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def f(self):
+                    with self._rwlock.read_locked():
+                        with self._rwlock.read_locked():
+                            pass
+            """,
+        )
+        assert locations(findings) == [("R7", "mod.py", 5)]
+        assert "recursive read" in findings[0].message
+
+    def test_interprocedural_upgrade_flagged(self):
+        # the acquisition and the held context live in different
+        # functions — only the entry-context fixpoint can see this
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def top(self):
+                    with self._rwlock.read_locked():
+                        self.helper()
+
+                def helper(self):
+                    with self._rwlock.write_locked():
+                        pass
+            """,
+        )
+        assert locations(findings) == [("R7", "mod.py", 8)]
+
+    def test_cross_function_order_cycle_flagged(self):
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def path_one(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+
+                def path_two(self):
+                    with self._lock_b:
+                        with self._lock_a:
+                            pass
+            """,
+        )
+        assert len(findings) >= 1
+        assert all(f.rule_id == "R7" for f in findings)
+        assert "cycle" in findings[0].message
+
+    def test_consistent_order_is_clean(self):
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def one(self):
+                    with self._rwlock.write_locked():
+                        with self._seed_lock:
+                            pass
+
+                def two(self):
+                    with self._rwlock.read_locked():
+                        with self._records_lock:
+                            pass
+            """,
+        )
+        assert findings == []
+
+    def test_sequential_reacquire_is_clean(self):
+        # release before re-acquire: no overlap, no violation
+        findings = lint_project(
+            ["R7"],
+            mod="""
+            class R:
+                def f(self):
+                    with self._rwlock.read_locked():
+                        pass
+                    with self._rwlock.write_locked():
+                        pass
+            """,
+        )
+        assert findings == []
+
+
+class TestR8BlockingUnderWrite:
+    def test_sleep_under_write_flagged(self):
+        findings = lint_project(
+            ["R8"],
+            mod="""
+            import time
+
+            class R:
+                def f(self):
+                    with self._rwlock.write_locked():
+                        time.sleep(0.1)
+            """,
+        )
+        assert locations(findings) == [("R8", "mod.py", 7)]
+
+    def test_kernel_under_write_flagged(self):
+        findings = lint_project(
+            ["R8"],
+            mod="""
+            from repro.ppr.kernels import frontier_push
+
+            class R:
+                def f(self, view, s):
+                    with self._rwlock.write_locked():
+                        frontier_push(view, s, 0.2, 1e-4)
+            """,
+        )
+        assert locations(findings) == [("R8", "mod.py", 7)]
+
+    def test_query_method_under_write_flagged(self):
+        findings = lint_project(
+            ["R8"],
+            mod="""
+            class R:
+                def f(self, s):
+                    with self._rwlock.write_locked():
+                        return self.algorithm.query(s)
+            """,
+        )
+        assert locations(findings) == [("R8", "mod.py", 5)]
+
+    def test_interprocedural_sleep_flagged(self):
+        # the sleep sits in a helper entered from a write section
+        findings = lint_project(
+            ["R8"],
+            mod="""
+            import time
+
+            class R:
+                def top(self):
+                    with self._rwlock.write_locked():
+                        self.helper()
+
+                def helper(self):
+                    time.sleep(0.1)
+            """,
+        )
+        assert locations(findings) == [("R8", "mod.py", 10)]
+
+    def test_kernel_under_read_is_clean(self):
+        findings = lint_project(
+            ["R8"],
+            mod="""
+            class R:
+                def f(self, s):
+                    with self._rwlock.read_locked():
+                        return self.algorithm.query(s)
+            """,
+        )
+        assert findings == []
+
+
+class TestR9GuardedBy:
+    FIXTURE = """
+    class R:
+        def __init__(self):
+            self._degraded = False  # guarded-by: self._rwlock[write]
+            self.records = []  # guarded-by: self._records_lock
+
+        def good_flag(self):
+            with self._rwlock.write_locked():
+                self._degraded = True
+
+        def bad_flag(self):
+            self._degraded = True
+
+        def bad_flag_read_hold(self):
+            with self._rwlock.read_locked():
+                self._degraded = True
+
+        def good_append(self, r):
+            with self._records_lock:
+                self.records.append(r)
+
+        def bad_append(self, r):
+            self.records.append(r)
+    """
+
+    def test_unlocked_and_wrong_mode_writes_flagged(self):
+        findings = lint_project(["R9"], mod=self.FIXTURE)
+        assert locations(findings) == [
+            ("R9", "mod.py", 12),  # bad_flag
+            ("R9", "mod.py", 16),  # bad_flag_read_hold (read != write)
+            ("R9", "mod.py", 23),  # bad_append
+        ]
+
+    def test_init_is_exempt(self):
+        findings = lint_project(["R9"], mod=self.FIXTURE)
+        assert all(f.line > 5 for f in findings)
+
+    def test_interprocedural_guard_satisfied(self):
+        # writer helper only ever entered under the write lock
+        findings = lint_project(
+            ["R9"],
+            mod="""
+            class R:
+                def __init__(self):
+                    self._flag = False  # guarded-by: self._rwlock[write]
+
+                def top(self):
+                    with self._rwlock.write_locked():
+                        self._set()
+
+                def _set(self):
+                    self._flag = True
+            """,
+        )
+        assert findings == []
+
+    def test_mutating_method_counts_as_write(self):
+        findings = lint_project(
+            ["R9"],
+            mod="""
+            class R:
+                def __init__(self):
+                    self._entries = {}  # guarded-by: self._lock
+
+                def bad(self, k):
+                    self._entries.pop(k, None)
+            """,
+        )
+        assert locations(findings) == [("R9", "mod.py", 7)]
+
+
+class TestR10SnapshotEscape:
+    # the canonical cross-function case: acquisition hidden in one
+    # helper, mutation hidden in another — invisible per-function
+    CROSS_FUNCTION = """
+    def get_view(g):
+        return csr_view(g)
+
+    def flush(g):
+        g.add_edge(1, 2)
+
+    def serve(g):
+        view = get_view(g)
+        flush(g)
+        return view.out_neighbors_of(0)
+    """
+
+    def test_cross_function_escape_flagged(self):
+        findings = lint_project(["R10"], mod=self.CROSS_FUNCTION)
+        assert locations(findings) == [("R10", "mod.py", 11)]
+        assert "mutates the graph" in findings[0].message
+
+    def test_single_function_pass_misses_it(self):
+        # the acceptance-criterion demonstration: R3 (per-file, per-
+        # function) sees neither the csr_view acquisition nor the
+        # mutation, so it reports nothing on the same fixture
+        r3_only = LintConfig(
+            select=frozenset({"R3"}), restrict_scopes=False
+        )
+        findings = run_source(
+            textwrap.dedent(self.CROSS_FUNCTION), "mod.py", r3_only
+        )
+        assert findings == []
+
+    def test_lock_escape_flagged(self):
+        findings = lint_project(
+            ["R10"],
+            mod="""
+            class R:
+                def f(self, g):
+                    with self._rwlock.read_locked():
+                        view = csr_view(g)
+                    return view.out_neighbors_of(0)
+            """,
+        )
+        assert locations(findings) == [("R10", "mod.py", 6)]
+        assert "released" in findings[0].message
+
+    def test_use_inside_critical_section_is_clean(self):
+        findings = lint_project(
+            ["R10"],
+            mod="""
+            class R:
+                def f(self, g):
+                    with self._rwlock.read_locked():
+                        view = csr_view(g)
+                        return view.out_neighbors_of(0)
+            """,
+        )
+        assert findings == []
+
+    def test_local_direct_case_left_to_r3(self):
+        # both acquisition and mutation are direct and local: R3's
+        # territory, R10 must not double-report
+        findings = lint_project(
+            ["R10"],
+            mod="""
+            def f(g):
+                view = csr_view(g)
+                g.add_edge(1, 2)
+                return view.out_neighbors_of(0)
+            """,
+        )
+        assert findings == []
+
+    def test_reobtained_view_is_clean(self):
+        findings = lint_project(
+            ["R10"],
+            mod="""
+            def get_view(g):
+                return csr_view(g)
+
+            def flush(g):
+                g.add_edge(1, 2)
+
+            def serve(g):
+                view = get_view(g)
+                flush(g)
+                view = get_view(g)
+                return view.out_neighbors_of(0)
+            """,
+        )
+        assert findings == []
+
+
+class TestR11MetricInCritical:
+    def test_registry_call_under_write_flagged(self):
+        findings = lint_project(
+            ["R11"],
+            mod="""
+            class R:
+                def f(self, dt):
+                    with self._rwlock.write_locked():
+                        self.metrics.histogram("service.update").observe(dt)
+            """,
+        )
+        assert locations(findings) == [("R11", "mod.py", 5)]
+
+    def test_registry_call_under_mutex_flagged(self):
+        findings = lint_project(
+            ["R11"],
+            mod="""
+            class R:
+                def f(self):
+                    with self._records_lock:
+                        self.metrics.counter("serving.faults").inc()
+            """,
+        )
+        assert locations(findings) == [("R11", "mod.py", 5)]
+
+    def test_read_hold_is_clean(self):
+        # read holds are shared; registry contention there does not
+        # serialize the pool
+        findings = lint_project(
+            ["R11"],
+            mod="""
+            class R:
+                def f(self, dt):
+                    with self._rwlock.read_locked():
+                        self.metrics.histogram("service.query").observe(dt)
+            """,
+        )
+        assert findings == []
+
+    def test_time_module_not_confused_with_registry(self):
+        findings = lint_project(
+            ["R11"],
+            mod="""
+            import time
+
+            class R:
+                def f(self):
+                    with self._records_lock:
+                        return time.time()
+            """,
+        )
+        assert findings == []
+
+    def test_scoped_to_serving_paths(self):
+        source = textwrap.dedent(
+            """
+            class R:
+                def f(self, dt):
+                    with self._lock:
+                        self.metrics.counter("cache.hits").inc()
+            """
+        )
+        scoped = LintConfig()  # restrict_scopes=True
+        in_scope = run_project_sources(
+            {"src/repro/serving/thing.py": source}, scoped, ["R11"]
+        )
+        out_of_scope = run_project_sources(
+            {"src/repro/cache/thing.py": source}, scoped, ["R11"]
+        )
+        assert [f.rule_id for f in in_scope] == ["R11"]
+        assert out_of_scope == []
+
+
+class TestSuppressionsApply:
+    def test_project_findings_honor_line_suppressions(self):
+        findings = lint_project(
+            None,
+            mod="""
+            import time
+
+            class R:
+                def f(self):
+                    with self._rwlock.write_locked():
+                        time.sleep(0.1)  # reprolint: disable=R8  startup only
+            """,
+        )
+        assert findings == []

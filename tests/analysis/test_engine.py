@@ -5,17 +5,22 @@ import textwrap
 
 import pytest
 
-import repro.analysis  # noqa: F401  (registers the rule pack)
+import repro.analysis  # noqa: F401  (registers both rule packs)
 from repro.analysis import (
+    PROJECT_RULES,
     RULES,
     Finding,
     LintConfig,
     Rule,
+    apply_baseline,
     exit_code,
     format_findings,
+    known_rule_ids,
+    load_baseline,
     register,
     run_paths,
     run_source,
+    write_baseline,
 )
 from repro.analysis.__main__ import main
 
@@ -32,6 +37,24 @@ def lint(source, config=UNSCOPED, path="fixture.py"):
 class TestRegistry:
     def test_all_six_rules_registered(self):
         assert set(RULES) == {"R1", "R2", "R3", "R4", "R5", "R6"}
+
+    def test_all_five_project_rules_registered(self):
+        assert set(PROJECT_RULES) == {"R7", "R8", "R9", "R10", "R11"}
+
+    def test_known_ids_span_both_families_plus_hygiene(self):
+        assert known_rule_ids() == (
+            frozenset(RULES) | frozenset(PROJECT_RULES) | {"R0"}
+        )
+
+    def test_project_rule_ids_collide_with_file_rule_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            from repro.analysis import register_project
+            from repro.analysis.engine import ProjectRule
+
+            @register_project
+            class DupAcrossFamilies(ProjectRule):
+                rule_id = "R1"
+                name = "dup"
 
     def test_duplicate_id_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
@@ -94,6 +117,172 @@ class TestSuppressions:
             "x = np.random.choice([1, 2])\n"
         )
         assert [f.rule_id for f in lint(src)] == ["R1"]
+
+    def test_justification_text_shares_the_comment(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1])"
+            "  # reprolint: disable=R1  seeded upstream, see docs\n"
+        )
+        assert lint(src) == []
+
+    def test_file_disable_mixed_with_line_disable(self):
+        # disable-file covers R1 everywhere; the R4 violation needs
+        # its own line-level disable and gets one — file-level and
+        # line-level tables must compose, not shadow each other
+        src = (
+            "# reprolint: disable-file=R1\n"
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])\n"
+            "y = np.random.random()\n"
+            "def f(acc=[]):  # reprolint: disable=R4  fixture only\n"
+            "    return acc\n"
+            "def g(acc=[]):\n"
+            "    return acc\n"
+        )
+        findings = lint(src)
+        assert [(f.rule_id, f.line) for f in findings] == [("R4", 7)]
+
+    def test_unknown_rule_id_warns_instead_of_silently_passing(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])  # reprolint: disable=R42\n"
+        )
+        findings = lint(src)
+        ids = [(f.rule_id, f.severity) for f in findings]
+        assert ("R1", "error") in ids  # R42 suppressed nothing
+        assert ("R0", "warning") in ids  # and the typo is surfaced
+        r0 = next(f for f in findings if f.rule_id == "R0")
+        assert "R42" in r0.message and "unknown" in r0.message
+        assert r0.line == 2
+
+    def test_unknown_id_mixed_with_known_still_suppresses_known(self):
+        src = (
+            "import numpy as np\n"
+            "x = np.random.choice([1, 2])  # reprolint: disable=R1,R42\n"
+        )
+        findings = lint(src)
+        assert [f.rule_id for f in findings] == ["R0"]
+
+    def test_unknown_id_warning_keeps_exit_code_zero(self):
+        src = "x = 1  # reprolint: disable=R42\n"
+        findings = lint(src)
+        assert [f.rule_id for f in findings] == ["R0"]
+        assert exit_code(findings, []) == 0
+
+    def test_hygiene_warning_is_itself_suppressible(self):
+        src = "x = 1  # reprolint: disable=R0,R42  historical id\n"
+        assert lint(src) == []
+
+    def test_project_rule_ids_are_known_to_hygiene(self):
+        src = "x = 1  # reprolint: disable=R7,R10\n"
+        assert lint(src) == []
+
+
+class TestSarif:
+    def test_sarif_structure(self):
+        log = json.loads(format_findings(lint(R1_SNIPPET), "sarif"))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "reprolint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["R1"]
+        result = run["results"][0]
+        assert result["ruleId"] == "R1"
+        assert result["level"] == "error"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "fixture.py"
+        assert loc["region"]["startLine"] == 2
+        assert loc["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+    def test_sarif_empty_run(self):
+        log = json.loads(format_findings([], "sarif"))
+        assert log["runs"][0]["results"] == []
+
+    def test_sarif_rule_metadata_carries_rationale(self):
+        log = json.loads(format_findings(lint(R1_SNIPPET), "sarif"))
+        rule = log["runs"][0]["tool"]["driver"]["rules"][0]
+        assert rule["shortDescription"]["text"] == "global-rng"
+        assert rule["fullDescription"]["text"]
+
+
+class TestBaseline:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        findings = lint(R1_SNIPPET)
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, findings)
+        new, suppressed = apply_baseline(
+            findings, load_baseline(baseline_file)
+        )
+        assert new == [] and suppressed == len(findings)
+
+    def test_new_findings_survive_baseline(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, lint(R1_SNIPPET))
+        extended = R1_SNIPPET + "def f(acc=[]):\n    return acc\n"
+        new, suppressed = apply_baseline(
+            lint(extended), load_baseline(baseline_file)
+        )
+        assert suppressed == 1
+        assert [f.rule_id for f in new] == ["R4"]
+
+    def test_line_drift_does_not_invalidate_baseline(self, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, lint(R1_SNIPPET))
+        shifted = "# a new comment shifts every line\n" + R1_SNIPPET
+        new, suppressed = apply_baseline(
+            lint(shifted), load_baseline(baseline_file)
+        )
+        assert new == [] and suppressed == 1
+
+    def test_multiplicity_is_respected(self, tmp_path):
+        # two identical findings baselined tolerate two, not three
+        f = Finding("R1", "error", "p.py", 1, 0, "same message")
+        g = Finding("R1", "error", "p.py", 9, 0, "same message")
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, [f, g])
+        third = Finding("R1", "error", "p.py", 20, 0, "same message")
+        new, suppressed = apply_baseline(
+            [f, g, third], load_baseline(baseline_file)
+        )
+        assert suppressed == 2
+        assert new == [third]
+
+    def test_malformed_baseline_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="baseline"):
+            load_baseline(bad)
+        missing_key = tmp_path / "missing.json"
+        missing_key.write_text("{}", encoding="utf-8")
+        with pytest.raises(ValueError, match="findings"):
+            load_baseline(missing_key)
+        with pytest.raises(ValueError):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestParallelJobs:
+    def _tree(self, tmp_path):
+        (tmp_path / "a.py").write_text(R1_SNIPPET)
+        (tmp_path / "b.py").write_text(
+            "def f(acc=[]):\n    return acc\n"
+        )
+        (tmp_path / "c.py").write_text("x = 1\n")
+        return tmp_path
+
+    def test_jobs_matches_serial_results(self, tmp_path):
+        tree = self._tree(tmp_path)
+        serial, serial_errors = run_paths([tree], UNSCOPED, jobs=1)
+        parallel, parallel_errors = run_paths([tree], UNSCOPED, jobs=2)
+        assert serial == parallel
+        assert serial_errors == parallel_errors
+        assert {f.rule_id for f in serial} == {"R1", "R4"}
+
+    def test_jobs_reports_syntax_errors(self, tmp_path):
+        tree = self._tree(tmp_path)
+        (tree / "broken.py").write_text("def f(:\n")
+        _, errors = run_paths([tree], UNSCOPED, jobs=2)
+        assert len(errors) == 1 and "syntax error" in errors[0]
 
 
 class TestSelection:
@@ -177,8 +366,55 @@ class TestCli:
         (tmp_path / "ok.py").write_text("x = 1\n")
         assert main(["--select", "R42", str(tmp_path)]) == 2
 
-    def test_list_rules(self, capsys):
+    def test_list_rules_covers_both_families(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R1", "R2", "R3", "R4", "R5", "R6"):
-            assert rule_id in out
+        for n in range(1, 12):
+            assert f"R{n}" in out
+        assert "per-file" in out and "project" in out
+
+    def test_sarif_output(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(R1_SNIPPET)
+        assert main(["--format", "sarif", str(tmp_path)]) == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"][0]["ruleId"] == "R1"
+
+    def test_write_baseline_then_lint_against_it(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(R1_SNIPPET)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", str(baseline), str(tmp_path / "bad.py")]
+        ) == 0
+        assert baseline.exists()
+        capsys.readouterr()  # drop the write-baseline notice
+        # baselined finding no longer fails the run...
+        assert main(
+            ["--baseline", str(baseline), str(tmp_path / "bad.py")]
+        ) == 0
+        assert "baselined" in capsys.readouterr().err
+        # ...but a fresh violation still does
+        (tmp_path / "bad.py").write_text(
+            R1_SNIPPET + "def f(acc=[]):\n    return acc\n"
+        )
+        assert main(
+            ["--baseline", str(baseline), str(tmp_path / "bad.py")]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "R4" in out and "R1" not in out.replace("R1_", "")
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["--baseline", str(bad), str(tmp_path)]) == 2
+
+    def test_jobs_flag(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(R1_SNIPPET)
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--jobs", "2", str(tmp_path)]) == 1
+        assert "R1" in capsys.readouterr().out
+
+    def test_invalid_jobs_exits_two(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--jobs", "0", str(tmp_path)]) == 2

@@ -37,12 +37,41 @@ class TestSelfCheck:
         )
         assert main([str(patched)]) == 1
 
+    def test_gate_fires_on_injected_concurrency_violation(self, tmp_path):
+        # the project rules run through the same gate: a serving-path
+        # module that sleeps inside a write section must fail the build.
+        # (the path must contain a "serving" part so scoped rules apply)
+        serving = tmp_path / "serving"
+        serving.mkdir()
+        (serving / "bad_runtime.py").write_text(
+            "import time\n"
+            "\n"
+            "\n"
+            "class Runtime:\n"
+            "    def reconfigure(self):\n"
+            "        with self._rwlock.write_locked():\n"
+            "            time.sleep(1.0)\n",
+            encoding="utf-8",
+        )
+        assert main([str(serving)]) == 1
+
+    def test_guarded_by_annotations_exist_in_serving(self):
+        # the runtime declares its lock discipline; if these vanish,
+        # R9 silently stops checking anything real
+        runtime = (SRC / "serving" / "runtime.py").read_text(
+            encoding="utf-8"
+        )
+        assert "# guarded-by:" in runtime
+
     def test_scoped_rules_cover_their_targets(self):
-        # the R2/R6 scoping in LintConfig must keep matching the tree
-        # layout; if these files move, the lint gate silently loses them
+        # the R2/R6/R11 scoping in LintConfig must keep matching the
+        # tree layout; if these files move, the lint gate silently
+        # loses them
         config = LintConfig()
         for name in config.unit_suffix_files:
             matches = list(SRC.rglob(name))
             assert matches, f"R6 target {name} missing from src tree"
         for part in config.float_compare_parts:
             assert (SRC / part).is_dir(), f"R2 scope {part}/ missing"
+        for part in config.metric_critical_parts:
+            assert (SRC / part).is_dir(), f"R11 scope {part}/ missing"
