@@ -14,7 +14,7 @@ import numpy as np
 from benchmarks.common import FULL_RATIOS, scoped
 from repro.core.calibration import calibrated_cost_model
 from repro.core.quota import QuotaController
-from repro.core.system import QuotaSystem
+from repro.core.system import QuotaSystem, RateDriftDetector
 from repro.evaluation import banner, format_series, get_dataset
 from repro.evaluation.runner import build_algorithm
 from repro.queueing import generate_segmented_workload
@@ -35,18 +35,37 @@ def run_dataset(name: str, phase_length: float):
     total = sum(s.duration for s in segments)
 
     series = {}
-    for label, use_quota in (("Agenda", False), ("Quota", True)):
+    reconfigurations = {}
+    # three policies: no re-optimization (Agenda), period-based Quota,
+    # and event-driven Quota (a RateDriftDetector fires reconfiguration
+    # only when the observed mix leaves the configured one)
+    for label in ("Agenda", "Quota", "Quota+drift"):
         algorithm = build_algorithm("Agenda", graph.copy(), spec.walk_cap, seed=0)
         controller = None
         reopt = None
-        if use_quota:
+        detector = None
+        if label != "Agenda":
             controller = QuotaController(
                 calibrated_cost_model(algorithm, num_queries=4, rng=7),
                 extra_starts=[algorithm.get_hyperparameters()],
             )
+        if label == "Quota":
             reopt = max(phase_length / 10.0, 0.5)
-        system = QuotaSystem(algorithm, controller, reoptimize_every=reopt)
+        elif label == "Quota+drift":
+            detector = RateDriftDetector(
+                configured_q=lq,
+                configured_u=lq * FULL_RATIOS[0],
+                window=max(phase_length / 2.0, 1.0),
+                threshold=0.5,
+            )
+        system = QuotaSystem(
+            algorithm,
+            controller,
+            reoptimize_every=reopt,
+            drift_detector=detector,
+        )
         result = system.process(workload)
+        reconfigurations[label] = len(system.decisions)
         per_phase = []
         for i in range(len(FULL_RATIOS)):
             lo, hi = i * phase_length, (i + 1) * phase_length
@@ -57,7 +76,7 @@ def run_dataset(name: str, phase_length: float):
             ]
             per_phase.append(float(np.mean(times)) * 1e3 if times else 0.0)
         series[label] = per_phase
-    return series, total
+    return series, total, reconfigurations
 
 
 def test_fig11_evolving_rates(benchmark, report):
@@ -71,7 +90,7 @@ def test_fig11_evolving_rates(benchmark, report):
     results = benchmark.pedantic(experiment, rounds=1, iterations=1)
     from benchmarks.common import RATIO_LABELS
 
-    for name, (series, total) in results.items():
+    for name, (series, total, reconfigurations) in results.items():
         report(
             format_series(
                 "phase ratio",
@@ -83,5 +102,11 @@ def test_fig11_evolving_rates(benchmark, report):
         )
         report(
             f"-> means: Agenda {np.mean(series['Agenda']):.2f} ms, "
-            f"Quota {np.mean(series['Quota']):.2f} ms\n"
+            f"Quota {np.mean(series['Quota']):.2f} ms, "
+            f"Quota+drift {np.mean(series['Quota+drift']):.2f} ms\n"
+        )
+        report(
+            f"-> reconfigurations: period-based "
+            f"{reconfigurations['Quota']}, drift-triggered "
+            f"{reconfigurations['Quota+drift']}\n"
         )

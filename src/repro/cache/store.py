@@ -290,6 +290,19 @@ class PPRCache:
                 )
             return evicted
 
+    def worst_staleness(self) -> float:
+        """Largest accumulated staleness among the *live* entries.
+
+        The invariant the scenario-fuzz oracle asserts: charging evicts
+        past ``epsilon_c``, so no live entry may ever report a budget
+        above it.  Returns 0.0 for an empty cache.
+        """
+        with self._lock:
+            return max(
+                (entry.staleness for entry in self._entries.values()),
+                default=0.0,
+            )
+
     def invalidate_all(self) -> int:
         """Drop every entry (e.g. after an out-of-band graph rebuild)."""
         with self._lock:

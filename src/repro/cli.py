@@ -15,6 +15,11 @@ Subcommands
     Quota configuration against the algorithm default, and/or serve
     queries through the staleness-bounded result cache
     (``--cache --cache-epsilon 0.1``).
+``scenarios``
+    Delegate to the scenario fuzz/replay harness
+    (``python -m repro.scenarios``): list workload-scenario families,
+    fuzz them through every engine under differential oracles, or
+    replay one DSL spec.
 
 Examples
 --------
@@ -28,6 +33,7 @@ Examples
         --lambda-q 40 --lambda-u 80 --window 5 --epsilon-r 0.5
     python -m repro.cli run --dataset dblp --algorithm Agenda \\
         --cache --cache-epsilon 0.2
+    python -m repro.cli scenarios fuzz --seeds 20 --out cards.json
 """
 
 from __future__ import annotations
@@ -133,6 +139,17 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--save-trace", default=None,
         help="persist the generated workload to this CSV path",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="workload-scenario fuzzing (delegates to repro.scenarios)",
+        add_help=False,
+    )
+    scenarios.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to `python -m repro.scenarios`",
     )
     return parser
 
@@ -306,6 +323,12 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "scenarios":
+        # lazy import: the harness pulls in the serving stack, which
+        # the lightweight subcommands should not pay for
+        from repro.scenarios.__main__ import main as scenarios_main
+
+        return scenarios_main(args.rest)
     try:
         if args.command == "datasets":
             return cmd_datasets()

@@ -71,6 +71,70 @@ class RateEstimator:
         span = min(self.window, max(now, 1e-9))
         return len(self._queries) / span, len(self._updates) / span
 
+    @property
+    def observed(self) -> int:
+        """Events currently inside the trailing window."""
+        return len(self._queries) + len(self._updates)
+
+
+@dataclass(slots=True)
+class RateDriftDetector:
+    """Flags when the *observed* rates drift from the *configured* pair.
+
+    The online re-optimization loop (ROADMAP "scenario fuzzing at
+    production scale"): a serving stack configured for
+    ``(lambda_q, lambda_u)`` keeps monitoring the empirical arrival
+    rates over a sliding window; once either rate drifts past
+    ``threshold`` (relative), :meth:`check` returns the monitored pair
+    so the caller can re-run the Quota controller — through
+    :meth:`QuotaSystem._maybe_reoptimize` on the virtual clock, or
+    :meth:`repro.serving.ServingRuntime.reconfigure` on the measured
+    one — and :meth:`rearm` the detector at the new configuration.
+
+    ``min_events`` guards the cold window: a handful of arrivals says
+    nothing about the rate, and re-solving on noise would thrash the
+    controller (every re-configuration is an index rebuild for the
+    index-based algorithms).
+    """
+
+    configured_q: float
+    configured_u: float
+    window: float = 5.0
+    threshold: float = 0.5
+    min_events: int = 20
+    estimator: RateEstimator = field(default_factory=RateEstimator)
+
+    def __post_init__(self) -> None:
+        if self.configured_q < 0 or self.configured_u < 0:
+            raise ValueError("configured rates must be non-negative")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.estimator.window = self.window
+
+    def observe(self, kind: str, arrival: float) -> None:
+        self.estimator.observe(kind, arrival)
+
+    def _drifted(self, observed: float, configured: float) -> bool:
+        if configured <= 0:
+            return observed > 0
+        return abs(observed - configured) / configured > self.threshold
+
+    def check(self, now: float) -> tuple[float, float] | None:
+        """Monitored (lambda_q, lambda_u) when drifted, else None."""
+        if self.estimator.observed < self.min_events:
+            return None
+        lambda_q, lambda_u = self.estimator.rates(now)
+        if self._drifted(lambda_q, self.configured_q) or self._drifted(
+            lambda_u, self.configured_u
+        ):
+            return lambda_q, lambda_u
+        return None
+
+    def rearm(self, lambda_q: float, lambda_u: float) -> None:
+        """Accept the new configuration as the drift baseline."""
+        self.configured_q = lambda_q
+        self.configured_u = lambda_u
+
 
 class QuotaSystem:
     """Serves an interleaved query/update workload on a virtual clock.
@@ -129,6 +193,7 @@ class QuotaSystem:
         beta_change_threshold: float = 0.10,
         cache: PPRCache | None = None,
         metrics: MetricsRegistry | None = None,
+        drift_detector: RateDriftDetector | None = None,
     ) -> None:
         if reoptimize_every is not None and reoptimize_every <= 0:
             raise ValueError("reoptimize_every must be positive")
@@ -136,6 +201,7 @@ class QuotaSystem:
         self.controller = controller
         self.epsilon_r = epsilon_r
         self.reoptimize_every = reoptimize_every
+        self.drift_detector = drift_detector
         self.rate_estimator = RateEstimator(window=rate_window)
         self.charge_solve = charge_solve
         self.charge_apply = charge_apply
@@ -235,6 +301,8 @@ class QuotaSystem:
 
         for request in workload:
             self.rate_estimator.observe(request.kind, request.arrival)
+            if self.drift_detector is not None:
+                self.drift_detector.observe(request.kind, request.arrival)
             server_free = self._maybe_reoptimize(request.arrival, server_free)
             # Opportunistically drain deferred updates while the server
             # idles before this arrival — deferral should steal time
@@ -392,19 +460,37 @@ class QuotaSystem:
         return server_free
 
     def _maybe_reoptimize(self, now: float, server_free: float) -> float:
-        """Periodic online reconfiguration from monitored rates."""
-        if self.controller is None or self.reoptimize_every is None:
+        """Online reconfiguration from monitored rates.
+
+        Two trigger modes: the paper's fixed-period loop
+        (``reoptimize_every``) with rate-change hysteresis, or — when a
+        :class:`RateDriftDetector` is attached — event-driven
+        re-configuration the moment the monitored rates drift past the
+        detector's threshold (the ROADMAP online re-optimization loop).
+        """
+        if self.controller is None:
             return server_free
-        if now - self._last_reoptimize < self.reoptimize_every:
-            return server_free
-        self._last_reoptimize = now
-        lambda_q, lambda_u = self.rate_estimator.rates(now)
-        if lambda_q <= 0:
-            return server_free
-        if self._configured_rates is not None and not self._rates_moved(
-            lambda_q, lambda_u
-        ):
-            return server_free
+        if self.drift_detector is not None:
+            drifted = self.drift_detector.check(now)
+            if drifted is None:
+                return server_free
+            lambda_q, lambda_u = drifted
+            if lambda_q <= 0:
+                return server_free
+            self.drift_detector.rearm(lambda_q, lambda_u)
+        else:
+            if self.reoptimize_every is None:
+                return server_free
+            if now - self._last_reoptimize < self.reoptimize_every:
+                return server_free
+            self._last_reoptimize = now
+            lambda_q, lambda_u = self.rate_estimator.rates(now)
+            if lambda_q <= 0:
+                return server_free
+            if self._configured_rates is not None and not self._rates_moved(
+                lambda_q, lambda_u
+            ):
+                return server_free
 
         current = self.algorithm.get_hyperparameters()
         decision = self.controller.configure(

@@ -34,6 +34,9 @@ Naming conventions
 * ``locks.*``       — runtime lock-order sanitizer accounting
   (:mod:`repro.serving.rwlock`, enabled by ``REPRO_LOCK_SANITIZER=1``):
   tracked acquisitions and detected discipline violations.
+* ``scenario.*``    — scenario-fuzz harness accounting
+  (:mod:`repro.scenarios`): replayed scenarios, oracle violations,
+  and drift-triggered QuotaController reconfigurations.
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -69,6 +72,10 @@ COUNTERS = frozenset(
         # lock sanitizer (REPRO_LOCK_SANITIZER=1; repro.serving.rwlock)
         "locks.acquired",
         "locks.violations",
+        # scenario fuzzing (repro.scenarios)
+        "scenario.runs",
+        "scenario.violations",
+        "scenario.reconfigurations",
     }
 )
 

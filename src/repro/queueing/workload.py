@@ -95,16 +95,42 @@ def _random_queries(
     ]
 
 
+def _random_update_endpoints(
+    count: int, nodes: NodeArray, rng: np.random.Generator
+) -> tuple[NodeArray, NodeArray]:
+    """Draw ``count`` uniform ordered pairs of *distinct* nodes, in bulk.
+
+    Equivalent in distribution to ``count`` sequential
+    ``rng.choice(nodes, size=2, replace=False)`` draws — the tail is
+    uniform over the node set, the head uniform over the remaining
+    nodes — but O(count) instead of O(count * len(nodes)): the old
+    per-update ``choice(..., replace=False)`` built an n-sized
+    probability scratch per draw, making update-storm generation
+    O(m * n) on large node sets.  Self-loops from the independent bulk
+    draws are rejected and redrawn (expected O(1) rounds: the loop
+    retains 1/n of the pairs per round).
+    """
+    u = nodes[rng.integers(0, nodes.size, size=count)]
+    v = nodes[rng.integers(0, nodes.size, size=count)]
+    collided = u == v
+    while bool(np.any(collided)):
+        v[collided] = nodes[
+            rng.integers(0, nodes.size, size=int(np.sum(collided)))
+        ]
+        collided = u == v
+    return u, v
+
+
 def _random_updates(
     times: FloatArray, nodes: NodeArray, rng: np.random.Generator
 ) -> list[Request]:
-    requests: list[Request] = []
-    for t in times:
-        u, v = rng.choice(nodes, size=2, replace=False)
-        requests.append(
-            Request(float(t), UPDATE, update=EdgeUpdate(int(u), int(v)))
-        )
-    return requests
+    if times.size == 0:
+        return []
+    heads, tails = _random_update_endpoints(times.size, nodes, rng)
+    return [
+        Request(float(t), UPDATE, update=EdgeUpdate(int(u), int(v)))
+        for t, u, v in zip(times, heads, tails)
+    ]
 
 
 def generate_workload(
@@ -132,7 +158,13 @@ def generate_workload(
     rng:
         Numpy generator or seed.
     query_process, update_process:
-        Alternative :class:`ArrivalProcess` instances (Table III).
+        Alternative :class:`ArrivalProcess` instances (Table III).  A
+        supplied process is always honored, even when the matching
+        ``lambda_*`` hint is 0 (the hint is a metadata default, not a
+        gate — previously a ``TraceArrivals`` passed alongside a
+        placeholder rate of 0 silently yielded an empty stream); when
+        the hint is 0 the recorded metadata rate is the *empirical*
+        rate of the generated stream instead.
     query_times, update_times:
         Explicit timestamp arrays; override the processes entirely
         (used for trace replay).
@@ -145,16 +177,25 @@ def generate_workload(
     if nodes.size < 2:
         raise ValueError("workload generation needs at least two nodes")
 
+    def empirical(times: FloatArray) -> float:
+        return times.size / t_end if t_end > 0 else 0.0
+
     if query_times is None:
-        if lambda_q > 0:
-            process = query_process or PoissonArrivals(lambda_q)
-            query_times = process.generate(t_end, rng)
+        if query_process is not None:
+            query_times = query_process.generate(t_end, rng)
+            if lambda_q == 0:
+                lambda_q = empirical(query_times)
+        elif lambda_q > 0:
+            query_times = PoissonArrivals(lambda_q).generate(t_end, rng)
         else:
             query_times = np.empty(0, dtype=np.float64)
     if update_times is None:
-        if lambda_u > 0:
-            process = update_process or PoissonArrivals(lambda_u)
-            update_times = process.generate(t_end, rng)
+        if update_process is not None:
+            update_times = update_process.generate(t_end, rng)
+            if lambda_u == 0:
+                lambda_u = empirical(update_times)
+        elif lambda_u > 0:
+            update_times = PoissonArrivals(lambda_u).generate(t_end, rng)
         else:
             update_times = np.empty(0, dtype=np.float64)
 
@@ -224,8 +265,12 @@ def dynamic_pattern_segments(
     steps = max(len(durations), 1)
 
     def ramp(lo: float, hi: float, i: int) -> float:
+        # a single phase has nowhere to ramp: it runs at the pattern's
+        # *starting* rate (returning hi here made a short query-inclined
+        # window spend its whole duration at peak rate, and a declining
+        # pattern start at its end rate)
         if steps == 1:
-            return hi
+            return lo
         return lo + (hi - lo) * i / (steps - 1)
 
     segments: list[WorkloadSegment] = []

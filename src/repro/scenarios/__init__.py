@@ -1,0 +1,63 @@
+"""Workload-scenario DSL, generators, and the fuzz/replay harness.
+
+``repro.scenarios`` names production-shaped traffic patterns (diurnal
+cycles, flash crowds, update storms, Zipf/shifting hot sets,
+cache-busting adversaries, replayed edge streams) as first-class
+:class:`~repro.scenarios.dsl.Scenario` values that compile to the
+ordinary :class:`~repro.queueing.workload.Workload` form, and drives
+them through every serving engine in the repo under differential and
+invariant oracles (``python -m repro.scenarios fuzz``).  See
+docs/DEVELOPMENT.md, "Scenario fuzzing".
+"""
+
+from repro.scenarios.dsl import (
+    FAMILIES,
+    PAPER_PATTERNS,
+    Scenario,
+    SourceSampler,
+    build_scenario,
+    cache_buster,
+    diurnal,
+    edge_replay,
+    flash_crowd,
+    load_edge_stream,
+    paper_pattern,
+    parse_scenario,
+    update_storm,
+    zipf_hotset,
+)
+from repro.scenarios.fuzz import (
+    FuzzReport,
+    ReportCard,
+    jittered_scenario,
+    run_drift_demo,
+    run_fuzz,
+    run_measured,
+    run_modeled,
+)
+from repro.scenarios.oracles import OracleViolation
+
+__all__ = [
+    "FAMILIES",
+    "FuzzReport",
+    "OracleViolation",
+    "PAPER_PATTERNS",
+    "ReportCard",
+    "Scenario",
+    "SourceSampler",
+    "build_scenario",
+    "cache_buster",
+    "diurnal",
+    "edge_replay",
+    "flash_crowd",
+    "jittered_scenario",
+    "load_edge_stream",
+    "paper_pattern",
+    "parse_scenario",
+    "run_drift_demo",
+    "run_fuzz",
+    "run_measured",
+    "run_modeled",
+    "update_storm",
+    "zipf_hotset",
+]

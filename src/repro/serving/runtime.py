@@ -466,6 +466,58 @@ class ServingRuntime:
             decisions=list(self.decisions),
         )
 
+    def serve_timed(
+        self,
+        workload: Workload | list[Request],
+        time_scale: float = 1.0,
+        on_submit: Callable[[Request, float], None] | None = None,
+    ) -> ServingReport:
+        """Feed ``workload`` at its recorded arrival times (open loop).
+
+        Where :meth:`serve` saturates the pool (arrival times ignored),
+        this replay sleeps until each request's arrival — scaled by
+        ``time_scale`` wall seconds per virtual second — so shed rate,
+        deadline misses, and queue depth reflect the workload's *rate
+        structure* rather than the submission loop's speed.  This is
+        the replay mode the scenario fuzzer uses: a flash crowd only
+        stresses admission if the spike actually arrives as a spike.
+
+        ``on_submit(request, now_s)`` fires after each submission with
+        the wall-clock submission time — the hook the drift-detector
+        loop uses to monitor empirical rates and trigger
+        :meth:`reconfigure` mid-replay.
+        """
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        requests = (
+            workload.requests
+            if isinstance(workload, Workload)
+            else sorted(workload, key=lambda r: r.arrival)
+        )
+        first_record = len(self.records)
+        started = time.perf_counter()
+        for request in requests:
+            due = started + request.arrival * time_scale
+            while True:
+                remaining = due - time.perf_counter()
+                if remaining <= 0:
+                    break
+                time.sleep(min(remaining, 0.05))
+            self.submit(request)
+            if on_submit is not None:
+                on_submit(request, time.perf_counter() - started)
+        self.drain()
+        wall = time.perf_counter() - started
+        with self._records_lock:
+            records = self.records[first_record:]
+        return ServingReport(
+            records=records,
+            wall_s=wall,
+            workers=self.workers,
+            degraded=self._degraded,
+            decisions=list(self.decisions),
+        )
+
     # ------------------------------------------------------------------
     # live reconfiguration (Quota -> runtime)
     # ------------------------------------------------------------------
