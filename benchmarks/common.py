@@ -16,7 +16,11 @@ identical request sequences.
 
 from __future__ import annotations
 
+import json
 import os
+import pathlib
+import platform
+import time
 from dataclasses import dataclass
 
 from repro.core.calibration import calibrated_cost_model
@@ -162,3 +166,49 @@ def dataset_workload(
     t = window if window is not None else window_for(spec)
     workload = generate_workload(graph, lq, lu, t, rng=seed + 7)
     return spec, graph, workload, lq, lu
+
+
+# ----------------------------------------------------------------------
+# machine-readable results (perf trajectory)
+# ----------------------------------------------------------------------
+#: repository root — trajectory artifacts live beside ROADMAP.md so
+#: successive PRs can diff them without digging into benchmarks/
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def write_bench_json(
+    name: str,
+    results: object,
+    path: str | os.PathLike[str] | None = None,
+) -> pathlib.Path:
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    The human-readable tables under ``benchmarks/results/`` are for
+    reading; these JSON artifacts are for *machines* — committed at the
+    repo root so the perf trajectory across PRs is a ``git log`` over
+    structured data.  Every record carries the scope/seed knobs and
+    enough host fingerprint to judge comparability (a 1-core container
+    and a 16-core runner are not the same experiment).
+    """
+    record = {
+        "bench": name,
+        "scope": bench_scope(),
+        "seed": bench_seed(),
+        "generated_unix": int(time.time()),
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "results": results,
+    }
+    target = (
+        pathlib.Path(path)
+        if path is not None
+        else REPO_ROOT / f"BENCH_{name}.json"
+    )
+    target.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target

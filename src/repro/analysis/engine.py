@@ -123,8 +123,8 @@ class LintConfig:
         "theory.py",
     )
     #: path parts scoping R11 (metric mutation in critical sections)
-    #: to the serving hot path
-    metric_critical_parts: tuple[str, ...] = ("serving",)
+    #: to the serving hot paths (runtime, shard fabric, front door)
+    metric_critical_parts: tuple[str, ...] = ("serving", "shard", "api")
     #: override for the metric-name registry (None = parse repro.obs.names)
     metric_counters: frozenset[str] | None = None
     metric_histograms: frozenset[str] | None = None

@@ -20,6 +20,11 @@ Subcommands
     (``python -m repro.scenarios``): list workload-scenario families,
     fuzz them through every engine under differential oracles, or
     replay one DSL spec.
+``serve``
+    Stand up the sharded HTTP serving fabric (``repro.shard`` workers
+    behind the ``repro.api`` front door) on a dataset graph and serve
+    ``/query`` ``/update`` ``/reconfigure`` ``/healthz`` ``/metrics``
+    until interrupted.
 
 Examples
 --------
@@ -34,6 +39,7 @@ Examples
     python -m repro.cli run --dataset dblp --algorithm Agenda \\
         --cache --cache-epsilon 0.2
     python -m repro.cli scenarios fuzz --seeds 20 --out cards.json
+    python -m repro.cli serve --dataset dblp --shards 2 --port 8080
 """
 
 from __future__ import annotations
@@ -150,6 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
         "rest",
         nargs=argparse.REMAINDER,
         help="arguments forwarded to `python -m repro.scenarios`",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve PPR over HTTP from a sharded fleet (repro.api)",
+        add_help=False,
+    )
+    serve.add_argument(
+        "rest",
+        nargs=argparse.REMAINDER,
+        help="arguments forwarded to the serve entry point "
+        "(see `serve --help`)",
     )
     return parser
 
@@ -322,7 +340,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:] if argv is None else argv)
+    if raw and raw[0] == "serve":
+        # forward before argparse: REMAINDER refuses to capture a
+        # leading option token (`serve --dataset ...`), so the serve
+        # entry point owns its whole argument list, --help included
+        from repro.api.serve import main as serve_main
+
+        return serve_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command == "scenarios":
         # lazy import: the harness pulls in the serving stack, which
         # the lightweight subcommands should not pay for

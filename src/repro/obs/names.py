@@ -37,6 +37,15 @@ Naming conventions
 * ``scenario.*``    — scenario-fuzz harness accounting
   (:mod:`repro.scenarios`): replayed scenarios, oracle violations,
   and drift-triggered QuotaController reconfigurations.
+* ``shard.*``       — sharded serving fabric accounting
+  (:mod:`repro.shard`): routed queries, broadcast updates, sheds
+  split by cause (unhealthy range / inflight bound), worker
+  respawns, update-order faults, fleet-wide reconfigurations, the
+  healthy-shard and inflight gauges, and the manager-side
+  round-trip histogram.
+* ``api.*``         — asyncio front-door accounting
+  (:mod:`repro.api`): admitted requests, shed responses (503/504),
+  and end-to-end response times as seen at the network edge.
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -76,6 +85,17 @@ COUNTERS = frozenset(
         "scenario.runs",
         "scenario.violations",
         "scenario.reconfigurations",
+        # sharded serving fabric (repro.shard)
+        "shard.queries_routed",
+        "shard.updates_broadcast",
+        "shard.shed_unhealthy",
+        "shard.shed_inflight",
+        "shard.respawns",
+        "shard.order_faults",
+        "shard.reconfigurations",
+        # asyncio front door (repro.api)
+        "api.requests",
+        "api.shed",
     }
 )
 
@@ -95,6 +115,10 @@ HISTOGRAMS = frozenset(
         "serving.batch_size",
         # routed sub-batch sizes (a count per routing decision)
         "dispatch.effective_batch",
+        # manager-side shard round-trip (submit -> reply, seconds)
+        "shard.roundtrip",
+        # front-door end-to-end response times (seconds)
+        "api.response",
     }
 )
 
@@ -108,6 +132,9 @@ GAUGES = frozenset(
         # batch-size distribution back through BatchAwareCostModel)
         "serving.effective_max_batch",
         "serving.effective_batch_window_s",
+        # sharded serving fabric (repro.shard)
+        "shard.healthy",
+        "shard.inflight",
     }
 )
 

@@ -30,12 +30,21 @@ NodeArray = NDArray[np.int64]
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """One arrival: an SSPPR query (source node) or an edge update."""
+    """One arrival: an SSPPR query (source node) or an edge update.
+
+    ``tag`` is an optional caller-chosen correlation id carried
+    through serving untouched — the sharded fabric
+    (:mod:`repro.shard`) uses it to match completion records back to
+    the network request that submitted them.  It never affects
+    scheduling, equality of generated workloads, or trace round-trips
+    (traces neither persist nor restore tags).
+    """
 
     arrival: float
     kind: str
     source: int | None = None
     update: EdgeUpdate | None = None
+    tag: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind == QUERY:

@@ -5,6 +5,7 @@
     python -m repro.scenarios list
     python -m repro.scenarios fuzz --seeds 20 --out report.json
     python -m repro.scenarios fuzz --seeds 5 --quick
+    python -m repro.scenarios fuzz --seeds 3 --scale   # nightly profile
     python -m repro.scenarios replay --spec "flash-crowd(spike_factor=40)"
 
 ``fuzz`` exits non-zero when any oracle was violated, so the command
@@ -27,6 +28,7 @@ from repro.evaluation.report import format_table
 from repro.graph.generators import barabasi_albert_graph
 from repro.scenarios.dsl import FAMILIES, parse_scenario
 from repro.scenarios.fuzz import (
+    SCALE_NODES,
     FuzzReport,
     ReportCard,
     run_fuzz,
@@ -56,7 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated family subset (default: all)",
     )
     fuzz.add_argument(
-        "--nodes", type=int, default=160, help="graph size (default 160)"
+        "--nodes",
+        type=int,
+        default=None,
+        help="graph size (default 160; 10000 with --scale)",
     )
     fuzz.add_argument(
         "--out", default=None, help="write the report-card JSON here"
@@ -65,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="modeled engines only (skip measured runtime + drift demo)",
+    )
+    fuzz.add_argument(
+        "--scale",
+        action="store_true",
+        help="large-graph profile: 10^4-node graphs and deeper measured "
+        "replays (nightly cron job; the PR gate stays small)",
     )
 
     replay = sub.add_parser(
@@ -149,12 +160,18 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if args.families
         else None
     )
+    nodes = (
+        args.nodes
+        if args.nodes is not None
+        else (SCALE_NODES if args.scale else 160)
+    )
     report = run_fuzz(
         args.seeds,
         families=families,
-        nodes=args.nodes,
+        nodes=nodes,
         measured=not args.quick,
         drift=not args.quick,
+        scale=args.scale,
         log=print,
     )
     _print_cards(

@@ -93,6 +93,16 @@ MEASURED_MAX_REQUESTS = 120
 #: wall-clock target for one measured open-loop replay (seconds)
 MEASURED_TARGET_WALL_S = 0.35
 
+#: ``--scale`` profile: 10^4-node graphs with a deeper measured replay.
+#: The PR-gating fuzz job stays at the small defaults; this profile is
+#: for the nightly cron run, where minutes are cheap and the bugs worth
+#: hunting are the ones that only show up at size (allocation pressure,
+#: frontier blow-ups, percentile drift on long tails).
+SCALE_NODES = 10_000
+SCALE_MEASURED_MAX_REQUESTS = 320
+SCALE_WALK_CAP = 256
+SCALE_TARGET_WALL_S = 1.5
+
 #: cache staleness budget used by both modeled and measured replays
 FUZZ_EPSILON_C = 0.2
 
@@ -339,11 +349,13 @@ def run_measured(
     graph: DynamicGraph,
     seed: int,
     walk_cap: int = 64,
+    limit: int = MEASURED_MAX_REQUESTS,
+    target_wall_s: float = MEASURED_TARGET_WALL_S,
 ) -> tuple[ReportCard, list[OracleViolation]]:
     """Open-loop paced replay through the real ServingRuntime."""
-    trimmed = _truncate_for_measured(workload)
+    trimmed = _truncate_for_measured(workload, limit=limit)
     time_scale = (
-        MEASURED_TARGET_WALL_S / trimmed.t_end if trimmed.t_end > 0 else 1.0
+        target_wall_s / trimmed.t_end if trimmed.t_end > 0 else 1.0
     )
     quiet = MetricsRegistry()
     serving_graph = graph.copy()
@@ -546,6 +558,7 @@ def run_fuzz(
     nodes: int = 160,
     measured: bool = True,
     drift: bool = True,
+    scale: bool = False,
     metrics: MetricsRegistry | None = None,
     log: LogFn | None = None,
 ) -> FuzzReport:
@@ -554,6 +567,11 @@ def run_fuzz(
     Modeled engines replay every cell; the measured runtime is rotated
     (cell ``seed % len(families)``) so a 20-seed sweep still pushes
     every family through real threads.  Deterministic given ``seeds``.
+
+    ``scale`` switches the measured replays to the large-graph profile
+    (deeper request cap, bigger walk budget, longer wall target); the
+    caller picks the matching graph size via ``nodes`` —
+    :data:`SCALE_NODES` is the intended pairing.
     """
     if seeds < 1:
         raise ValueError("seeds must be >= 1")
@@ -565,6 +583,9 @@ def run_fuzz(
     report = FuzzReport(seeds=seeds, families=chosen)
     runs_counter = metrics.counter("scenario.runs")
     violations_counter = metrics.counter("scenario.violations")
+    walk_cap = SCALE_WALK_CAP if scale else 64
+    limit = SCALE_MEASURED_MAX_REQUESTS if scale else MEASURED_MAX_REQUESTS
+    target_wall_s = SCALE_TARGET_WALL_S if scale else MEASURED_TARGET_WALL_S
 
     for seed in range(seeds):
         for index, family in enumerate(chosen):
@@ -576,7 +597,13 @@ def run_fuzz(
             runs_counter.inc(2)
             if measured and index == seed % len(chosen):
                 card, measured_violations = run_measured(
-                    scenario, workload, graph, seed
+                    scenario,
+                    workload,
+                    graph,
+                    seed,
+                    walk_cap=walk_cap,
+                    limit=limit,
+                    target_wall_s=target_wall_s,
                 )
                 cards.append(card)
                 violations += measured_violations
@@ -611,6 +638,7 @@ def run_fuzz(
 __all__ = [
     "FuzzReport",
     "MEASURED_MAX_REQUESTS",
+    "SCALE_NODES",
     "ReportCard",
     "jittered_scenario",
     "modeled_service_fn",

@@ -255,6 +255,17 @@ class ServingRuntime:
         forced flush, idle drain — charges the tracker inside its
         writer critical section, so a query can never observe a
         mutated graph whose updates the cache was not yet charged for.
+    on_complete:
+        Optional callback fired once per :class:`ServedRequest`
+        appended to :attr:`records` — every terminal outcome (ok,
+        shed, timeout, failed) of every submitted request, plus
+        deferred-update applications.  Called *after* the records lock
+        is released, but possibly inside a writer critical section
+        (the deferred-flush path), so it must be fast and must never
+        block or take locks that can invert the runtime's order; the
+        shard worker (:mod:`repro.shard.worker`) uses it to push
+        completions onto an unbounded outbound queue.  Exceptions are
+        swallowed (a broken observer must not take down a worker).
     metrics:
         Observability registry (defaults to the process-wide one).
     """
@@ -276,6 +287,7 @@ class ServingRuntime:
         batch_model: BatchAwareCostModel | None = None,
         tune_every: int = 16,
         cache: PPRCache | None = None,
+        on_complete: Callable[[ServedRequest], None] | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         if workers < 1:
@@ -314,6 +326,7 @@ class ServingRuntime:
         self.records: list[ServedRequest] = []  # guarded-by: self._records_lock
 
         self._query_fn = query_fn
+        self._on_complete = on_complete
         self._cache = cache
         self._staleness = (
             StalenessTracker(
@@ -576,6 +589,11 @@ class ServingRuntime:
     def _record(self, record: ServedRequest) -> None:
         with self._records_lock:
             self.records.append(record)
+        if self._on_complete is not None:
+            try:
+                self._on_complete(record)
+            except Exception:  # pragma: no cover - observer must not kill us
+                pass
 
     def _cache_key(self, source: int) -> CacheKey:
         """Cache identity of a query under the current configuration.

@@ -1,0 +1,379 @@
+"""Shard transports: the same command protocol over two substrates.
+
+* :class:`ProcessShard` — a real worker **process** (default start
+  method ``spawn``: the manager runs threads, and forking a threaded
+  parent inherits lock state unsafely).  Commands go down one simplex
+  pipe, replies come back on another; each pipe end is owned by
+  exactly one thread.  This is the backend that escapes the GIL: every
+  shard has its own interpreter, so PPR compute parallelizes across
+  cores.
+* :class:`InprocShard` — the identical :class:`~repro.shard.worker.ShardServer`
+  on a plain thread in this process.  Deterministic (no pickling, no
+  scheduler variance beyond threads), instant startup; the backend the
+  unit tests and the in-memory front-door transport use.
+
+Both present one future-based interface: ``submit(command)`` returns a
+:class:`concurrent.futures.Future` resolved with the worker's
+:class:`~repro.shard.messages.ShardReply`; a dead shard fails every
+pending and future submission with
+:class:`~repro.shard.messages.ShardUnavailableError`, and fires the
+``on_death`` callback exactly once so the manager can shed the range
+and respawn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from concurrent.futures import Future
+from typing import TYPE_CHECKING
+
+from repro.graph.updates import EdgeUpdate
+from repro.serving.rwlock import wrap_mutex
+from repro.shard.messages import (
+    Command,
+    CrashCommand,
+    HealthCommand,
+    MetricsCommand,
+    QueryCommand,
+    ReconfigureCommand,
+    ShardReply,
+    ShardSpec,
+    ShardUnavailableError,
+    StopCommand,
+    UpdateCommand,
+)
+from repro.shard.worker import ShardServer, shard_worker_main
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+
+#: default start method; ``fork`` is opt-in (threaded parent)
+DEFAULT_START_METHOD = "spawn"
+
+ReplyFuture = Future  # Future[ShardReply]; bare for runtime generics
+
+DeathCallback = Callable[["ShardHandle", str], None]
+
+
+class ShardHandle(ABC):
+    """Future-based client for one shard worker."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        self.spec = spec
+        self.shard_id = spec.shard_id
+        self._next_req = 0  # guarded-by: self._pending_lock
+        self._pending: dict[int, ReplyFuture] = {}  # guarded-by: self._pending_lock
+        self._pending_lock = wrap_mutex(
+            threading.Lock(), "shard.pending"
+        )
+        self._dead = threading.Event()
+        self._death_reason = ""
+        self.on_death: DeathCallback | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        return not self._dead.is_set()
+
+    @property
+    def death_reason(self) -> str:
+        return self._death_reason
+
+    def submit(self, build: Callable[[int], Command]) -> ReplyFuture:
+        """Assign a req id, register a future, send the command.
+
+        ``build`` receives the fresh req id and returns the command —
+        exposed at this level so tests can inject protocol-violating
+        commands (e.g. out-of-order update versions) directly.
+        """
+        future: ReplyFuture = Future()
+        if self._dead.is_set():
+            future.set_exception(
+                ShardUnavailableError(
+                    f"shard {self.shard_id} is down: {self._death_reason}"
+                )
+            )
+            return future
+        with self._pending_lock:
+            req_id = self._next_req
+            self._next_req += 1
+            self._pending[req_id] = future
+        command = build(req_id)
+        try:
+            self._send(command)
+        except ShardUnavailableError as exc:
+            with self._pending_lock:
+                self._pending.pop(req_id, None)
+            if not future.done():
+                future.set_exception(exc)
+        return future
+
+    # -- typed convenience wrappers ------------------------------------
+    def query(
+        self,
+        source: int,
+        budget_s: float | None = None,
+        top_k: int | None = None,
+    ) -> ReplyFuture:
+        return self.submit(
+            lambda rid: QueryCommand(rid, source, budget_s, top_k)
+        )
+
+    def update(self, version: int, update: EdgeUpdate) -> ReplyFuture:
+        return self.submit(
+            lambda rid: UpdateCommand(
+                rid, version, update.u, update.v, update.kind
+            )
+        )
+
+    def reconfigure(self, lambda_q: float, lambda_u: float) -> ReplyFuture:
+        return self.submit(
+            lambda rid: ReconfigureCommand(rid, lambda_q, lambda_u)
+        )
+
+    def metrics(self) -> ReplyFuture:
+        return self.submit(lambda rid: MetricsCommand(rid))
+
+    def health(self) -> ReplyFuture:
+        return self.submit(lambda rid: HealthCommand(rid))
+
+    def crash(self) -> None:
+        """Failure injection: make the worker die without cleanup."""
+        try:
+            self.submit(lambda rid: CrashCommand(rid))
+        except ShardUnavailableError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _resolve(self, reply: ShardReply) -> None:
+        with self._pending_lock:
+            future = self._pending.pop(reply.req_id, None)
+        if future is not None and not future.done():
+            future.set_result(reply)
+
+    def _mark_dead(self, reason: str) -> None:
+        if self._dead.is_set():
+            return
+        self._death_reason = reason
+        self._dead.set()
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        error = ShardUnavailableError(
+            f"shard {self.shard_id} died: {reason}"
+        )
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+        callback = self.on_death
+        if callback is not None:
+            try:
+                callback(self, reason)
+            except Exception:  # pragma: no cover - observer must not kill us
+                pass
+
+    # -- transport obligations ----------------------------------------
+    @abstractmethod
+    def _send(self, command: Command) -> None:
+        """Deliver one command to the worker (raise ShardUnavailable)."""
+
+    @abstractmethod
+    def stop(self, timeout_s: float = 30.0) -> None:
+        """Graceful shutdown; safe to call on a dead shard."""
+
+    @abstractmethod
+    def kill(self) -> None:
+        """Hard teardown (no drain); used by crash handling and tests."""
+
+    def __repr__(self) -> str:
+        state = "healthy" if self.healthy else f"dead({self._death_reason})"
+        return f"{type(self).__name__}(shard={self.shard_id}, {state})"
+
+
+# ----------------------------------------------------------------------
+class ProcessShard(ShardHandle):
+    """One worker process behind two simplex pipes."""
+
+    def __init__(
+        self, spec: ShardSpec, start_method: str = DEFAULT_START_METHOD
+    ) -> None:
+        super().__init__(spec)
+        ctx = multiprocessing.get_context(start_method)
+        cmd_r, cmd_w = ctx.Pipe(duplex=False)
+        reply_r, reply_w = ctx.Pipe(duplex=False)
+        self._cmd: "Connection" = cmd_w
+        self._reply: "Connection" = reply_r
+        self._send_lock = wrap_mutex(threading.Lock(), "shard.send")
+        self._process = ctx.Process(
+            target=shard_worker_main,
+            args=(spec, cmd_r, reply_w),
+            name=f"shard-worker-{spec.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        # close our copies of the child's ends so a dead child turns
+        # into EOF on the reply pipe instead of a hang
+        cmd_r.close()
+        reply_w.close()
+        self._receiver = threading.Thread(
+            target=self._receive_loop,
+            name=f"shard-{spec.shard_id}-receiver",
+            daemon=True,
+        )
+        self._receiver.start()
+
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                reply = self._reply.recv()
+            except (EOFError, OSError):
+                exit_code = self._process.exitcode
+                self._mark_dead(
+                    f"worker process exited (exitcode={exit_code})"
+                )
+                return
+            self._resolve(reply)
+
+    def _send(self, command: Command) -> None:
+        if self._dead.is_set():
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} is down: {self._death_reason}"
+            )
+        try:
+            with self._send_lock:
+                self._cmd.send(command)
+        except (BrokenPipeError, OSError) as exc:
+            self._mark_dead(f"command pipe broken: {exc!r}")
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} command pipe broke"
+            ) from exc
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self.healthy:
+            try:
+                self.submit(lambda rid: StopCommand(rid)).result(timeout_s)
+            except Exception:
+                pass
+        self._process.join(timeout_s)
+        if self._process.is_alive():  # pragma: no cover - stuck worker
+            self._process.terminate()
+            self._process.join(5.0)
+        self._mark_dead("stopped")
+
+    def kill(self) -> None:
+        self._process.terminate()
+        self._process.join(5.0)
+        self._mark_dead("killed")
+
+
+# ----------------------------------------------------------------------
+class InprocShard(ShardHandle):
+    """The worker loop on an in-process thread (deterministic tests)."""
+
+    def __init__(self, spec: ShardSpec) -> None:
+        super().__init__(spec)
+        self._commands: "queue.SimpleQueue[Command | None]" = (
+            queue.SimpleQueue()
+        )
+        self._ready = threading.Event()
+        self._server: ShardServer | None = None
+        self._paused = threading.Event()
+        self._unpaused = threading.Event()
+        self._unpaused.set()
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"shard-inproc-{spec.shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        self._ready.wait(timeout=60.0)
+        if self._server is None and not self._dead.is_set():
+            self._mark_dead("worker thread failed to initialize")
+
+    def _run(self) -> None:
+        try:
+            server = ShardServer(self.spec, reply=self._resolve)
+        except Exception as exc:  # pragma: no cover - bad spec
+            self._mark_dead(f"worker init failed: {exc!r}")
+            self._ready.set()
+            return
+        self._server = server
+        self._ready.set()
+        try:
+            while True:
+                command = self._commands.get()
+                self._unpaused.wait()
+                if command is None:
+                    return
+                if not server.handle(command):
+                    return
+        except Exception as exc:
+            # mirror the process backend: a raising worker is dead; its
+            # runtime threads must not linger
+            try:
+                server.runtime.stop(timeout_s=5.0, flush=False)
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+            self._mark_dead(f"worker raised: {exc!r}")
+
+    # -- test hooks ----------------------------------------------------
+    def pause(self) -> None:
+        """Stall command processing (deterministic backlog in tests)."""
+        self._unpaused.clear()
+
+    def resume(self) -> None:
+        self._unpaused.set()
+
+    @property
+    def server(self) -> ShardServer | None:
+        """The live server (tests probe applied_broadcasts etc.)."""
+        return self._server
+
+    # ------------------------------------------------------------------
+    def _send(self, command: Command) -> None:
+        if self._dead.is_set():
+            raise ShardUnavailableError(
+                f"shard {self.shard_id} is down: {self._death_reason}"
+            )
+        self._commands.put(command)
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        if self.healthy:
+            try:
+                self.submit(lambda rid: StopCommand(rid)).result(timeout_s)
+            except Exception:
+                pass
+        self._commands.put(None)
+        self._thread.join(timeout_s)
+        self._mark_dead("stopped")
+
+    def kill(self) -> None:
+        server = self._server
+        if server is not None:
+            try:
+                server.runtime.stop(timeout_s=5.0, flush=False)
+            except Exception:  # pragma: no cover - teardown best-effort
+                pass
+        self._mark_dead("killed")
+        self._commands.put(None)
+
+
+#: registry for CLI/bench selection by name
+BACKENDS = ("process", "inproc")
+
+
+def make_shard(
+    spec: ShardSpec,
+    backend: str = "process",
+    start_method: str = DEFAULT_START_METHOD,
+) -> ShardHandle:
+    """Instantiate a shard handle by backend name."""
+    if backend == "process":
+        return ProcessShard(spec, start_method)
+    if backend == "inproc":
+        return InprocShard(spec)
+    raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")

@@ -1,0 +1,186 @@
+"""Wire protocol of the sharded serving fabric.
+
+Everything that crosses a process boundary lives here: the
+:class:`ShardSpec` a worker is built from, the command dataclasses the
+manager sends, and the :class:`ShardReply` envelope workers send back.
+All types are plain frozen dataclasses of primitives so they pickle
+under the ``spawn`` start method (the safe default for a parent that
+already runs threads) without dragging graph or algorithm state along.
+
+Versioned update broadcast
+--------------------------
+Every edge update the fabric accepts is assigned one fabric-wide,
+monotonically increasing ``version`` (1-based) by the
+:class:`~repro.shard.manager.ShardManager` and broadcast to every
+shard.  A shard MUST observe versions as a gap-free increasing
+sequence; :class:`UpdateOrderError` is raised — never papered over —
+when a broadcast arrives out of order, because an out-of-order apply
+would silently diverge that shard's replicated graph from the rest of
+the fleet (toggle semantics make apply order load-bearing: the same
+multiset of updates applied in two orders can yield different edge
+sets).  A shard that raises is torn down and respawned from the
+manager's update log, which restores convergence by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class UpdateOrderError(RuntimeError):
+    """An update broadcast arrived out of snapshot-version order.
+
+    Raised by the shard worker instead of applying the update: a
+    divergent replica answering queries is strictly worse than a dead
+    one (the manager respawns dead shards from the versioned log).
+    """
+
+
+class ShardUnavailableError(RuntimeError):
+    """The target shard died (or stopped) before answering."""
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """Everything a worker process needs to build its serving stack.
+
+    The graph is *replicated* (every shard holds all nodes and edges)
+    while the query source-id space is *partitioned* by the router —
+    the deployment shape the D&A multi-core allocation analysis
+    assumes, and the one that keeps any single-source query local to
+    one worker.
+
+    ``num_nodes`` + ``edges`` snapshot the graph at fabric start;
+    updates broadcast after start carry the state forward identically
+    on every shard.
+    """
+
+    shard_id: int
+    num_shards: int
+    num_nodes: int
+    edges: tuple[tuple[int, int], ...]
+    algorithm: str = "FORA"
+    walk_cap: int = 2_000
+    seed: int = 0
+    engine: str = "scalar"
+    epsilon_r: float = 0.0
+    workers: int = 1
+    queue_capacity: int = 1_024
+    cache_epsilon: float | None = None
+    #: "algorithm" serves queries through the spec'd algorithm;
+    #: "exact" serves them through deterministic power iteration — the
+    #: mode the cross-process equivalence oracle uses (bit-for-bit
+    #: reproducible regardless of per-shard RNG interleaving)
+    query_mode: str = "algorithm"
+    #: build a calibrated QuotaController so `/reconfigure` can
+    #: re-solve per shard (costs a calibration at worker start)
+    use_controller: bool = False
+    calibration_queries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if not 0 <= self.shard_id < self.num_shards:
+            raise ValueError(
+                f"shard_id {self.shard_id} outside [0, {self.num_shards})"
+            )
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.query_mode not in ("algorithm", "exact"):
+            raise ValueError(
+                f"query_mode must be algorithm|exact, got {self.query_mode!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# commands (manager -> worker)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class QueryCommand:
+    """Serve one SSPPR query; reply when the runtime resolves it."""
+
+    req_id: int
+    source: int
+    #: remaining deadline budget in seconds (deadline propagation: the
+    #: front door subtracts time already spent queueing upstream)
+    budget_s: float | None = None
+    #: truncate the reply vector to its k largest entries (None = full)
+    top_k: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class UpdateCommand:
+    """Apply one versioned edge update; acked at admission."""
+
+    req_id: int
+    version: int
+    u: int
+    v: int
+    kind: str = "toggle"
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigureCommand:
+    """Re-solve the shard's QuotaController at the given rates."""
+
+    req_id: int
+    lambda_q: float
+    lambda_u: float
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsCommand:
+    """Snapshot the worker's metrics registry + serving state."""
+
+    req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class HealthCommand:
+    """Liveness/readiness probe."""
+
+    req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class StopCommand:
+    """Graceful shutdown: drain, stop the runtime, exit the loop."""
+
+    req_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class CrashCommand:
+    """Hard-exit the worker without cleanup (failure-injection tests)."""
+
+    req_id: int
+
+
+Command = (
+    QueryCommand
+    | UpdateCommand
+    | ReconfigureCommand
+    | MetricsCommand
+    | HealthCommand
+    | StopCommand
+    | CrashCommand
+)
+
+
+# ----------------------------------------------------------------------
+# replies (worker -> manager)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ShardReply:
+    """Envelope for every worker response.
+
+    ``payload`` is a plain dict of primitives (query payloads carry
+    ``status``/``version``/``cached``/``values``); ``error`` is set —
+    and ``ok`` False — when the command failed worker-side.
+    """
+
+    req_id: int
+    shard_id: int
+    ok: bool
+    payload: dict[str, object]
+    error: str | None = None
