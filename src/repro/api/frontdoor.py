@@ -139,6 +139,12 @@ class FrontDoor:
         remaining: float | None = None
         if budget is not None:
             spent = started - (received_s if received_s is not None else started)
+            # received_s comes from the transport's wall clock; a
+            # skewed or stepped client clock can place it in the
+            # future (spent < 0) which would silently *extend* the
+            # deadline past budget_s.  Clamp to [0, budget]: at best
+            # the caller has the whole budget left, at worst none.
+            spent = min(max(spent, 0.0), budget)
             remaining = budget - spent
             if remaining <= 0.0:
                 self.metrics.counter("api.shed").inc()

@@ -23,9 +23,11 @@ from repro.core.cost_models import (
     CostModel,
     ForaCostModel,
     ForaPlusCostModel,
+    ForaPlusIncrementalCostModel,
     ForaTopKCostModel,
     SpeedPPRCostModel,
     SpeedPPRPlusCostModel,
+    SpeedPPRPlusIncrementalCostModel,
     TopPPRCostModel,
     cost_model_for,
 )
@@ -55,6 +57,7 @@ __all__ = [
     "CostModel",
     "ForaCostModel",
     "ForaPlusCostModel",
+    "ForaPlusIncrementalCostModel",
     "ForaTopKCostModel",
     "OptimizationResult",
     "PendingUpdate",
@@ -65,6 +68,7 @@ __all__ = [
     "SeedQueue",
     "SpeedPPRCostModel",
     "SpeedPPRPlusCostModel",
+    "SpeedPPRPlusIncrementalCostModel",
     "TopPPRCostModel",
     "calibrate_taus",
     "calibrated_cost_model",

@@ -176,6 +176,25 @@ class ForaPlusCostModel(ForaCostModel):
         return {"Index Build": beta["r_max"]}
 
 
+class ForaPlusIncrementalCostModel(ForaPlusCostModel):
+    """FORA+ with incremental index maintenance (Table I, new row).
+
+    The update still scales with the per-node walk budget (r_max K
+    walks hang off each endpoint of the mutated edge, and the affected
+    set grows with it), so the factor keeps the ``r_max`` shape of the
+    rebuild row — but the calibrated tau absorbs the O(affected / m)
+    advantage of resampling only the walks the edge actually carries,
+    which is what lets the Quota optimizer pick this method under
+    update-heavy traffic.
+    """
+
+    algorithm_name = "FORA+inc"
+    update_subprocesses = ("Graph Update", "Index Update")
+
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
+        return {"Graph Update": 1.0, "Index Update": beta["r_max"]}
+
+
 class ForaTopKCostModel(ForaCostModel):
     """Table I, FORA-TopK row: FORA-shaped costs, index-free updates."""
 
@@ -217,6 +236,17 @@ class SpeedPPRPlusCostModel(SpeedPPRCostModel):
 
     def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
         return {"Index Build": beta["r_max"]}
+
+
+class SpeedPPRPlusIncrementalCostModel(SpeedPPRPlusCostModel):
+    """SpeedPPR+ with incremental index maintenance — see
+    :class:`ForaPlusIncrementalCostModel` for the factor rationale."""
+
+    algorithm_name = "SpeedPPR+inc"
+    update_subprocesses = ("Graph Update", "Index Update")
+
+    def update_factors(self, beta: Mapping[str, float]) -> dict[str, float]:
+        return {"Graph Update": 1.0, "Index Update": beta["r_max"]}
 
 
 class TopPPRCostModel(CostModel):
@@ -455,9 +485,11 @@ COST_MODELS: dict[str, type[CostModel]] = {
     "Agenda": AgendaCostModel,
     "FORA": ForaCostModel,
     "FORA+": ForaPlusCostModel,
+    "FORA+inc": ForaPlusIncrementalCostModel,
     "FORA-TopK": ForaTopKCostModel,
     "SpeedPPR": SpeedPPRCostModel,
     "SpeedPPR+": SpeedPPRPlusCostModel,
+    "SpeedPPR+inc": SpeedPPRPlusIncrementalCostModel,
     "TopPPR": TopPPRCostModel,
 }
 

@@ -46,6 +46,10 @@ Naming conventions
 * ``api.*``         — asyncio front-door accounting
   (:mod:`repro.api`): admitted requests, shed responses (503/504),
   and end-to-end response times as seen at the network edge.
+* ``index.*``       — incremental walk-index maintenance accounting
+  (:mod:`repro.ppr.incremental`): applied edge updates, walks
+  resampled (vs the full-rebuild alternative), and lazy edge→walk
+  map builds.
 
 To add a metric: register its name in the matching set below, then use
 the literal at the call site.  Dynamic (non-literal) names are not
@@ -96,6 +100,10 @@ COUNTERS = frozenset(
         # asyncio front door (repro.api)
         "api.requests",
         "api.shed",
+        # incremental walk-index maintenance (repro.ppr.incremental)
+        "index.incremental_updates",
+        "index.walks_resampled",
+        "index.map_builds",
     }
 )
 

@@ -2,18 +2,24 @@
 
 The base algorithms Quota configures (Section V / Table I):
 
-=============  ===========  ======================================
-Algorithm      Index        Tunable hyperparameters
-=============  ===========  ======================================
-FORA           no           r_max
-FORA+          yes          r_max
-SpeedPPR       no           r_max
-SpeedPPR+      yes          r_max
-Agenda         yes (lazy)   r_max, r_max_b
-ResAcc         no           r_max           (baseline only)
-FORA-TopK      no           r_max
-TopPPR         no           r_max, r_max_b
-=============  ===========  ======================================
+=============  =================  ======================================
+Algorithm      Index              Tunable hyperparameters
+=============  =================  ======================================
+FORA           no                 r_max
+FORA+          yes                r_max
+FORA+inc       yes (incremental)  r_max
+SpeedPPR       no                 r_max
+SpeedPPR+      yes                r_max
+SpeedPPR+inc   yes (incremental)  r_max
+Agenda         yes (lazy)         r_max, r_max_b
+ResAcc         no                 r_max           (baseline only)
+FORA-TopK      no                 r_max
+TopPPR         no                 r_max, r_max_b
+=============  =================  ======================================
+
+The "+inc" variants keep the walk index patched via FIRM-style
+affected-walk resampling (:mod:`repro.ppr.incremental`) instead of a
+full per-update rebuild.
 """
 
 from repro.ppr.agenda import Agenda
@@ -37,7 +43,7 @@ from repro.ppr.dispatch import (
     register_backend,
     set_dispatcher,
 )
-from repro.ppr.fora import Fora, ForaPlus
+from repro.ppr.fora import Fora, ForaPlus, ForaPlusIncremental
 from repro.ppr.forward_push import PushResult, forward_push
 from repro.ppr.kernels import (
     ENGINES,
@@ -51,14 +57,16 @@ from repro.ppr.power_iteration import ppr_exact, ppr_exact_all_pairs
 from repro.ppr.random_walk import WalkIndex, sample_walk_terminals
 from repro.ppr.resacc import ResAcc
 from repro.ppr.reverse_push import ReversePushResult, reverse_push
-from repro.ppr.speedppr import SpeedPPR, SpeedPPRPlus
+from repro.ppr.speedppr import SpeedPPR, SpeedPPRPlus, SpeedPPRPlusIncremental
 from repro.ppr.topk import ForaTopK, TopPPR
 
 ALGORITHMS = {
     "FORA": Fora,
     "FORA+": ForaPlus,
+    "FORA+inc": ForaPlusIncremental,
     "SpeedPPR": SpeedPPR,
     "SpeedPPR+": SpeedPPRPlus,
+    "SpeedPPR+inc": SpeedPPRPlusIncremental,
     "Agenda": Agenda,
     "ResAcc": ResAcc,
     "FORA-TopK": ForaTopK,
@@ -86,6 +94,7 @@ __all__ = [
     "DynamicPPRAlgorithm",
     "Fora",
     "ForaPlus",
+    "ForaPlusIncremental",
     "ForaTopK",
     "PairEstimate",
     "PPRParams",
@@ -99,6 +108,7 @@ __all__ = [
     "ReversePushResult",
     "SpeedPPR",
     "SpeedPPRPlus",
+    "SpeedPPRPlusIncremental",
     "SubProcessTimers",
     "TopPPR",
     "WalkIndex",

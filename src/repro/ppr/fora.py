@@ -208,8 +208,22 @@ class Fora(DynamicPPRAlgorithm):
         return None
 
 
+#: valid WalkIndex maintenance policies for the index-based methods
+INDEX_MAINTENANCE_MODES = ("rebuild", "incremental")
+
+
 class ForaPlus(Fora):
-    """Index-based FORA+ — fast queries, index rebuild on every update."""
+    """Index-based FORA+ — fast queries, index maintained per update.
+
+    ``index_maintenance`` selects the update policy:
+
+    * ``"rebuild"`` (default) — regenerate the whole walk index on the
+      new snapshot, the paper's O(m r_max K) update cost.  This is the
+      distributional oracle the incremental path is tested against.
+    * ``"incremental"`` — FIRM-style suffix resampling of only the
+      walks the edge mutation affects (:mod:`repro.ppr.incremental`),
+      charged through ``ForaPlusIncrementalCostModel``.
+    """
 
     name = "FORA+"
     is_index_based = True
@@ -220,7 +234,14 @@ class ForaPlus(Fora):
         params: PPRParams | None = None,
         r_max: float | None = None,
         engine: str = "scalar",
+        index_maintenance: str = "rebuild",
     ) -> None:
+        if index_maintenance not in INDEX_MAINTENANCE_MODES:
+            raise ValueError(
+                f"index_maintenance must be one of "
+                f"{INDEX_MAINTENANCE_MODES}, got {index_maintenance!r}"
+            )
+        self.index_maintenance = index_maintenance
         super().__init__(graph, params, r_max, engine)
         self._index: WalkIndex | None = None
         self._ensure_index()
@@ -234,31 +255,76 @@ class ForaPlus(Fora):
         view = self.view
         return self.r_max * self.params.num_walks(view.n)
 
+    def _build_index(self) -> None:
+        with self.timers.measure("Index Build"):
+            self._index = WalkIndex(
+                self.view,
+                self.params.alpha,
+                self._walks_per_unit(),
+                self._rng,
+                track_edges=self.index_maintenance == "incremental",
+            )
+
     def _ensure_index(self) -> None:
-        if self._index is None or self._index.view is not self.view:
-            with self.timers.measure("Index Build"):
-                self._index = WalkIndex(
-                    self.view, self.params.alpha, self._walks_per_unit(), self._rng
-                )
+        # keyed on the snapshot *version*, not view object identity: a
+        # slack-slot compaction yields a fresh view object at the same
+        # version and must not trigger an O(m r_max K) rebuild.
+        if (
+            self._index is None
+            or self._index.view.version != self.view.version
+        ):
+            self._build_index()
 
     def _on_hyperparameters_changed(self) -> None:
         """Changing r_max changes the index budget; rebuild it."""
-        with self.timers.measure("Index Build"):
-            self._index = WalkIndex(
-                self.view, self.params.alpha, self._walks_per_unit(), self._rng
-            )
+        self._build_index()
 
     def _walk_index(self) -> WalkIndex:
         self._ensure_index()
         return self._index
 
     def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        if self.index_maintenance == "incremental" and self._index is not None:
+            with self.timers.measure("Graph Update"):
+                resolved = update.apply(self.graph)
+                view = self.view
+            with self.timers.measure("Index Update"):
+                # resample only the affected walks; runs inside the
+                # caller's writer critical section (serving runtime)
+                self._index.apply_edge_update(
+                    view,
+                    view.to_index(resolved.u),
+                    view.to_index(resolved.v),
+                    resolved.kind,
+                )
+            return resolved
         with self.timers.measure("Graph Update"):
             resolved = update.apply(self.graph)
         with self.timers.measure("Index Build"):
-            # FORA+ has no incremental maintenance: regenerate the walk
-            # index on the new snapshot (the O(m r_max K) update cost).
+            # rebuild policy: regenerate the walk index on the new
+            # snapshot (the O(m r_max K) update cost).
             self._index = WalkIndex(
                 self.view, self.params.alpha, self._walks_per_unit(), self._rng
             )
         return resolved
+
+
+class ForaPlusIncremental(ForaPlus):
+    """FORA+ with incremental walk-index maintenance by default.
+
+    Registered as its own algorithm ("FORA+inc") so the Quota
+    optimizer can weigh its much smaller t̃_u against plain FORA+ and
+    the index-free methods.
+    """
+
+    name = "FORA+inc"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+        engine: str = "scalar",
+        index_maintenance: str = "incremental",
+    ) -> None:
+        super().__init__(graph, params, r_max, engine, index_maintenance)

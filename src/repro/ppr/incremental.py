@@ -1,0 +1,371 @@
+"""Incremental walk-index maintenance (FIRM-style suffix resampling).
+
+The index-based methods (FORA+, SpeedPPR+) precompute
+ceil(r_max * K * d_out(v)) alpha-decay walks per node.  The seed
+implementation regenerates the *whole* index after every edge update —
+the O(m * r_max * K) t_u of Table I that makes index-based methods lose
+to index-free ones under churn.  This module implements the
+incremental index-update scheme of "PPR on Evolving Graphs with an
+Incremental Index-Update Scheme" (arXiv 2212.10288): resample only the
+walks an edge mutation actually affects.
+
+Affected sets (exactness argument)
+----------------------------------
+Write d for node u's *old* out-degree.
+
+* ``delete (u, v)`` — affected = walks that traversed the edge (u, v).
+  A walk that survived a coin at u but stepped to w != v drew uniform
+  over d conditioned on "not v", which *is* uniform over the d-1
+  surviving neighbors: already new-graph distributed, left alone.
+* ``insert (u, v)`` — affected = walks that survived >= 1 termination
+  coin at u.  That includes walks that *held* at a then-dangling u
+  (survived the coin with nowhere to go and retired in place); the
+  sampler records those holds as pseudo-edges ``(u, u)`` so the map can
+  find them.  Walks whose coin failed at u terminate there under either
+  graph and are untouched.
+
+An affected walk is repaired by *suffix resampling* from its first
+affected step: the termination coin there already survived (the prefix
+conditions on it), so the new suffix is a forced uniform move over u's
+*new* out-neighbors followed by a standard alpha-decay walk from the
+hop — exactly the new-graph conditional law given the retained prefix.
+If u is now dangling the walk retires at u (pseudo-edge re-recorded).
+Resampling the *whole* walk instead would be biased: the affected set
+is trajectory-selected, and replacing member walks with unconditional
+fresh walks gives the resampled mass the unconditional law where the
+mixture needs the conditional one.  (Whole-*row* refresh — Agenda's
+``refresh_nodes`` — is unbiased precisely because row selection does
+not condition on trajectories.)
+
+Degree-driven budget changes ride along: deletes that shrink
+ceil(r_max * K * d_out(u)) drop tail slots *before* the affected set is
+computed (dropped walks need no repair), and inserts that grow it
+append fresh full walks *after* repair (fresh walks are new-graph iid
+and must not be re-resampled).
+
+The edge→walk map
+-----------------
+``EdgeWalkMap`` stores, per stored walk, the *ordered* list of edges it
+traversed (pseudo-edges included), plus an inverted src→dst→walk-id
+bucket index for O(affected) lookup.  Ordered paths are load-bearing:
+a suffix resample keeps the prefix's traversals registered, so a later
+update touching a prefix edge still finds the walk.  Walk ids are
+``(node << SLOT_BITS) | slot`` — stable under slack-row relocation, so
+the map never needs remapping when the terminals array is repacked.
+
+Everything here mutates only the owning :class:`~repro.ppr.random_walk.
+WalkIndex` and is called from algorithm ``apply_update`` paths, which
+the serving runtime already runs under the write lock — the repair is
+inside the writer critical section by construction (rules R7-R11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.obs import get_metrics
+from repro.ppr.csr import CSRView
+from repro.ppr.random_walk import WalkIndex, sample_walk_terminals
+
+#: chronological step record emitted by ``sample_walk_terminals``:
+#: per iteration ``(walk_positions, src_nodes, dst_nodes)`` (a hold at
+#: a dangling node is recorded as src == dst).
+WalkTrace = list[tuple[np.ndarray, np.ndarray, np.ndarray]]
+
+#: walk id layout: ``wid = (node << SLOT_BITS) | slot``.  32 slot bits
+#: comfortably exceed any per-node walk budget while keeping ids in
+#: int64 range for graphs up to 2^31 nodes.
+SLOT_BITS = 32
+_SLOT_MASK = (1 << SLOT_BITS) - 1
+
+# module-level pre-resolved counters: looking metrics up per update
+# would be a registry access inside the writer critical section (R11).
+_incremental_updates = get_metrics().counter("index.incremental_updates")
+_walks_resampled = get_metrics().counter("index.walks_resampled")
+_map_builds = get_metrics().counter("index.map_builds")
+
+
+def walk_id(node: int, slot: int) -> int:
+    return (node << SLOT_BITS) | slot
+
+
+class EdgeWalkMap:
+    """Inverted edge→walk index over the stored walks.
+
+    ``_by_src[u][v]`` is the set of walk ids whose trajectory traversed
+    (u, v) at least once; ``_paths[wid]`` is that walk's ordered edge
+    sequence (the repair needs the *first* affected position, and the
+    prefix must stay registered after a suffix resample).  A walk whose
+    very first coin terminated it has no entries at all.
+    """
+
+    __slots__ = ("_by_src", "_paths")
+
+    def __init__(self) -> None:
+        self._by_src: dict[int, dict[int, set[int]]] = {}
+        self._paths: dict[int, list[tuple[int, int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def register(self, wid: int, path: list[tuple[int, int]]) -> None:
+        if not path:
+            return
+        self._paths[wid] = path
+        for u, v in set(path):
+            self._by_src.setdefault(u, {}).setdefault(v, set()).add(wid)
+
+    def unregister(self, wid: int) -> None:
+        path = self._paths.pop(wid, None)
+        if path is None:
+            return
+        for u, v in set(path):
+            dsts = self._by_src.get(u)
+            if dsts is None:
+                continue
+            bucket = dsts.get(v)
+            if bucket is None:
+                continue
+            bucket.discard(wid)
+            if not bucket:
+                del dsts[v]
+                if not dsts:
+                    del self._by_src[u]
+
+    def path(self, wid: int) -> list[tuple[int, int]]:
+        return self._paths.get(wid, [])
+
+    def walks_through(self, u: int, v: int) -> set[int]:
+        """Walk ids that traversed edge (u, v)."""
+        return set(self._by_src.get(u, {}).get(v, ()))
+
+    def walks_from(self, u: int) -> set[int]:
+        """Walk ids that survived a coin at u (stepped out or held)."""
+        out: set[int] = set()
+        for bucket in self._by_src.get(u, {}).values():
+            out |= bucket
+        return out
+
+
+def make_edge_map() -> EdgeWalkMap:
+    """Factory used by :class:`WalkIndex` (keeps its import lazy)."""
+    return EdgeWalkMap()
+
+
+def _paths_from_trace(
+    trace: WalkTrace, num_walks: int
+) -> list[list[tuple[int, int]]]:
+    """Per-batch-position ordered edge lists from a chronological trace."""
+    paths: list[list[tuple[int, int]]] = [[] for _ in range(num_walks)]
+    for positions, srcs, dsts in trace:
+        pos_l = positions.tolist()
+        src_l = srcs.tolist()
+        dst_l = dsts.tolist()
+        for k in range(len(pos_l)):
+            paths[pos_l[k]].append((src_l[k], dst_l[k]))
+    return paths
+
+
+def register_trace(
+    emap: EdgeWalkMap,
+    starts: np.ndarray,
+    slots: np.ndarray,
+    trace: WalkTrace,
+) -> None:
+    """Register a freshly sampled batch's traversals.
+
+    ``starts``/``slots`` identify each batch position's walk id;
+    ``trace`` is the recorder filled by ``sample_walk_terminals``.
+    """
+    paths = _paths_from_trace(trace, int(starts.size))
+    wids = (starts.astype(np.int64) << SLOT_BITS) | slots.astype(np.int64)
+    wid_l = wids.tolist()
+    for pos, path in enumerate(paths):
+        if path:
+            emap.register(wid_l[pos], path)
+
+
+def unregister_rows(
+    emap: EdgeWalkMap, node_indices: np.ndarray, counts: np.ndarray
+) -> None:
+    """Drop every registered walk of the given (whole) rows."""
+    for i in node_indices.tolist():
+        base = int(i) << SLOT_BITS
+        for slot in range(int(counts[i])):
+            emap.unregister(base | slot)
+
+
+def apply_edge_update(
+    index: WalkIndex, view: CSRView, u: int, v: int, kind: str
+) -> int:
+    """Patch ``index`` in place for one applied edge update.
+
+    ``view`` must be the post-update snapshot and ``kind`` the resolved
+    operation (``"insert"`` or ``"delete"`` — toggles are resolved by
+    ``EdgeUpdate.apply`` before the index ever sees them).  Returns the
+    number of walks (re)sampled, the incremental analogue of the full
+    rebuild's ``total_walks`` cost.
+
+    The first call on an index built without ``track_edges`` pays one
+    traced full rebuild to materialize the edge→walk map (lazy per the
+    module contract); every subsequent call is O(affected).
+    """
+    if kind not in ("insert", "delete"):
+        raise ValueError(f"unknown edge-update kind: {kind!r}")
+    _incremental_updates.inc()
+    if index.edge_map is None:
+        # lazy map build: the snapshot already reflects the update, so
+        # a plain traced rebuild on it is both the repair and the map.
+        index.track_edges = True
+        sampled = index.rebuild(view)
+        _map_builds.inc()
+        _walks_resampled.inc(sampled)
+        return sampled
+
+    index.view = view
+    emap = index.edge_map
+    resampled = index._ensure_node_rows(view)
+    deg = int(view.out_deg[u])
+    current = int(index.counts[u])
+    target = max(
+        int(np.ceil(index.walks_per_unit * max(deg, 1))), 1
+    )
+
+    # shrink first: dropped tail walks need no repair and must not
+    # appear in the affected set.
+    if target < current:
+        base = u << SLOT_BITS
+        for slot in range(target, current):
+            emap.unregister(base | slot)
+        index.counts[u] = target
+
+    if kind == "delete":
+        affected = emap.walks_through(u, v)
+    else:
+        affected = emap.walks_from(u)
+    wids = sorted(affected)
+
+    if wids:
+        if kind == "delete":
+            split_of = lambda path: path.index((u, v))  # noqa: E731
+        else:
+            def split_of(path: list[tuple[int, int]]) -> int:
+                for i, edge in enumerate(path):
+                    if edge[0] == u:
+                        return i
+                raise ValueError(
+                    f"affected walk has no step at node {u}"
+                )
+        if deg == 0:
+            # u lost its last out-edge: every affected walk now holds
+            # at u (coin survived, nowhere to go).
+            for wid in wids:
+                prefix = emap.path(wid)[: split_of(emap.path(wid))]
+                emap.unregister(wid)
+                emap.register(wid, prefix + [(u, u)])
+                node, slot = wid >> SLOT_BITS, wid & _SLOT_MASK
+                index.terminals[int(index.offsets[node]) + slot] = u
+        else:
+            # forced uniform move over u's new out-neighbors, then a
+            # standard walk from the hop (traced, so the new suffixes
+            # are registered).
+            neighbors = view.out_neighbors_of(u)
+            hops = neighbors[
+                (index._rng.random(len(wids)) * deg).astype(np.int64)
+            ]
+            trace: WalkTrace = []
+            terms = sample_walk_terminals(
+                view, hops, index.alpha, index._rng, trace=trace
+            )
+            suffixes = _paths_from_trace(trace, len(wids))
+            hop_l = hops.tolist()
+            term_l = terms.tolist()
+            for pos, wid in enumerate(wids):
+                old = emap.path(wid)
+                prefix = old[: split_of(old)]
+                emap.unregister(wid)
+                emap.register(
+                    wid, prefix + [(u, hop_l[pos])] + suffixes[pos]
+                )
+                node, slot = wid >> SLOT_BITS, wid & _SLOT_MASK
+                index.terminals[int(index.offsets[node]) + slot] = (
+                    term_l[pos]
+                )
+        resampled += len(wids)
+
+    # grow last: fresh walks are already new-graph iid.
+    if target > current:
+        if target > int(index.caps[u]):
+            index._relocate_row(u, target)
+        extra = target - current
+        starts = np.full(extra, u, dtype=np.int64)
+        slots = np.arange(current, target, dtype=np.int64)
+        grow_trace: WalkTrace = []
+        fresh = sample_walk_terminals(
+            view, starts, index.alpha, index._rng, trace=grow_trace
+        )
+        register_trace(emap, starts, slots, grow_trace)
+        lo = int(index.offsets[u])
+        index.terminals[lo + current:lo + target] = fresh
+        index.counts[u] = target
+        resampled += extra
+
+    _walks_resampled.inc(resampled)
+    return resampled
+
+
+def validate_edge_map(index: WalkIndex, view: CSRView) -> list[str]:
+    """Audit the edge→walk map against the index and a snapshot.
+
+    Returns a list of human-readable violations (empty = consistent).
+    Used as the oracle by the property tests and the benchmark; not a
+    hot path.
+    """
+    violations: list[str] = []
+    emap = index.edge_map
+    if emap is None:
+        return ["edge map not built (track_edges off and never updated)"]
+    neighbor_sets: dict[int, set[int]] = {}
+
+    def neighbors_of(node: int) -> set[int]:
+        cached = neighbor_sets.get(node)
+        if cached is None:
+            cached = set(view.out_neighbors_of(node).tolist())
+            neighbor_sets[node] = cached
+        return cached
+
+    for wid, path in emap._paths.items():
+        node, slot = wid >> SLOT_BITS, wid & _SLOT_MASK
+        if node >= index.counts.size or slot >= int(index.counts[node]):
+            violations.append(
+                f"walk id {wid} (node {node}, slot {slot}) outside the "
+                f"stored rows"
+            )
+            continue
+        if not path:
+            violations.append(f"walk {wid} registered with empty path")
+        for u, v in path:
+            if u == v and int(view.out_deg[u]) == 0:
+                continue  # dangling-hold pseudo-edge
+            if v not in neighbors_of(u):
+                violations.append(
+                    f"walk {wid} traverses ({u}, {v}) absent from the "
+                    f"snapshot"
+                )
+        for u, v in set(path):
+            if wid not in emap._by_src.get(u, {}).get(v, set()):
+                violations.append(
+                    f"walk {wid} path edge ({u}, {v}) missing from "
+                    f"bucket index"
+                )
+    for u, dsts in emap._by_src.items():
+        for v, bucket in dsts.items():
+            if not bucket:
+                violations.append(f"empty bucket left at ({u}, {v})")
+            for wid in bucket:
+                if (u, v) not in emap._paths.get(wid, []):
+                    violations.append(
+                        f"bucket ({u}, {v}) lists walk {wid} whose "
+                        f"path lacks it"
+                    )
+    return violations

@@ -306,7 +306,12 @@ class SpeedPPR(DynamicPPRAlgorithm):
 
 
 class SpeedPPRPlus(SpeedPPR):
-    """Index-based SpeedPPR+ — precomputed walks, rebuilt per update."""
+    """Index-based SpeedPPR+ — precomputed walks, maintained per update.
+
+    ``index_maintenance`` selects "rebuild" (the paper's full
+    regeneration, the default and test oracle) or "incremental"
+    (FIRM-style affected-walk resampling, :mod:`repro.ppr.incremental`).
+    """
 
     name = "SpeedPPR+"
     is_index_based = True
@@ -317,7 +322,16 @@ class SpeedPPRPlus(SpeedPPR):
         params: PPRParams | None = None,
         r_max: float | None = None,
         engine: str = "scalar",
+        index_maintenance: str = "rebuild",
     ) -> None:
+        from repro.ppr.fora import INDEX_MAINTENANCE_MODES
+
+        if index_maintenance not in INDEX_MAINTENANCE_MODES:
+            raise ValueError(
+                f"index_maintenance must be one of "
+                f"{INDEX_MAINTENANCE_MODES}, got {index_maintenance!r}"
+            )
+        self.index_maintenance = index_maintenance
         super().__init__(graph, params, r_max, engine)
         self._index: WalkIndex | None = None
         self._ensure_index()
@@ -325,24 +339,45 @@ class SpeedPPRPlus(SpeedPPR):
     def _walks_per_unit(self) -> float:
         return self.r_max * self._num_walks()
 
-    def _ensure_index(self) -> None:
-        if self._index is None or self._index.view is not self.view:
-            with self.timers.measure("Index Build"):
-                self._index = WalkIndex(
-                    self.view, self.params.alpha, self._walks_per_unit(), self._rng
-                )
-
-    def _on_hyperparameters_changed(self) -> None:
+    def _build_index(self) -> None:
         with self.timers.measure("Index Build"):
             self._index = WalkIndex(
-                self.view, self.params.alpha, self._walks_per_unit(), self._rng
+                self.view,
+                self.params.alpha,
+                self._walks_per_unit(),
+                self._rng,
+                track_edges=self.index_maintenance == "incremental",
             )
+
+    def _ensure_index(self) -> None:
+        # version-keyed (not view identity): compaction must not force
+        # an index rebuild — see ForaPlus._ensure_index.
+        if (
+            self._index is None
+            or self._index.view.version != self.view.version
+        ):
+            self._build_index()
+
+    def _on_hyperparameters_changed(self) -> None:
+        self._build_index()
 
     def _walk_index(self) -> WalkIndex:
         self._ensure_index()
         return self._index
 
     def apply_update(self, update: EdgeUpdate) -> EdgeUpdate:
+        if self.index_maintenance == "incremental" and self._index is not None:
+            with self.timers.measure("Graph Update"):
+                resolved = update.apply(self.graph)
+                view = self.view
+            with self.timers.measure("Index Update"):
+                self._index.apply_edge_update(
+                    view,
+                    view.to_index(resolved.u),
+                    view.to_index(resolved.v),
+                    resolved.kind,
+                )
+            return resolved
         with self.timers.measure("Graph Update"):
             resolved = update.apply(self.graph)
         with self.timers.measure("Index Build"):
@@ -350,3 +385,19 @@ class SpeedPPRPlus(SpeedPPR):
                 self.view, self.params.alpha, self._walks_per_unit(), self._rng
             )
         return resolved
+
+
+class SpeedPPRPlusIncremental(SpeedPPRPlus):
+    """SpeedPPR+ with incremental walk-index maintenance by default."""
+
+    name = "SpeedPPR+inc"
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        params: PPRParams | None = None,
+        r_max: float | None = None,
+        engine: str = "scalar",
+        index_maintenance: str = "incremental",
+    ) -> None:
+        super().__init__(graph, params, r_max, engine, index_maintenance)

@@ -80,6 +80,33 @@ def test_exhausted_budget_rejected_before_dispatch():
         assert shed == 1
 
 
+def test_skewed_future_timestamp_cannot_extend_budget():
+    """Regression: ``received_s`` comes from the transport clock, so a
+    skewed/stepped client clock can place it in the *future*; the
+    negative ``spent`` must not extend the deadline past budget_s."""
+    with make_manager() as manager:
+        frontdoor = FrontDoor(manager)
+        captured = {}
+        real_query = manager.query
+
+        def capturing_query(source, deadline_s=None, top_k=None):
+            captured["deadline_s"] = deadline_s
+            return real_query(source, deadline_s=deadline_s, top_k=top_k)
+
+        manager.query = capturing_query
+        budget = 0.8
+        response = asyncio.run(
+            frontdoor.query(
+                # the transport claims it saw this request 1000s from now
+                0, budget_s=budget, received_s=time.perf_counter() + 1000.0
+            )
+        )
+        assert response.status_code == 200
+        # clamped: the forwarded deadline never exceeds the declared budget
+        assert captured["deadline_s"] is not None
+        assert captured["deadline_s"] <= budget
+
+
 def test_generous_budget_is_forwarded_and_served():
     with make_manager() as manager:
         frontdoor = FrontDoor(manager)

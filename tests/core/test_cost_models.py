@@ -15,6 +15,11 @@ from repro.core import (
     TopPPRCostModel,
     cost_model_for,
 )
+from repro.core.cost_models import (
+    ForaPlusIncrementalCostModel,
+    SpeedPPRPlusIncrementalCostModel,
+)
+from repro.core.quota import QuotaController
 from repro.graph import barabasi_albert_graph
 from repro.ppr import ALGORITHMS, PPRParams
 
@@ -100,6 +105,55 @@ class TestOtherModels:
     def test_speedppr_plus_update(self):
         model = SpeedPPRPlusCostModel(100, 1000, taus={"Index Build": 3.0})
         assert model.update_time({"r_max": 0.1}) == pytest.approx(0.3)
+
+    def test_fora_plus_incremental_update_terms(self):
+        model = ForaPlusIncrementalCostModel(
+            100, 500, taus={"Graph Update": 1e-4, "Index Update": 1e-2}
+        )
+        assert model.update_time({"r_max": 0.2}) == pytest.approx(
+            1e-4 + 1e-2 * 0.2
+        )
+        # query side is inherited from the FORA+ row unchanged
+        plain = ForaPlusCostModel(100, 500)
+        assert model.query_factors(
+            {"r_max": 0.1}, 1, 1
+        ) == plain.query_factors({"r_max": 0.1}, 1, 1)
+
+    def test_speedppr_plus_incremental_update_terms(self):
+        model = SpeedPPRPlusIncrementalCostModel(
+            100, 1000, taus={"Graph Update": 1e-4, "Index Update": 2e-2}
+        )
+        assert model.update_time({"r_max": 0.1}) == pytest.approx(
+            1e-4 + 2e-2 * 0.1
+        )
+
+    def test_quota_flips_to_index_based_under_churn(self):
+        """The point of the incremental row: with representative taus
+        (incremental maintenance ~100x cheaper than a rebuild), an
+        update-heavy rate pair that drives FORA+ unstable leaves
+        FORA+inc stable — so an argmin over predicted response times
+        now selects an index-based method where it previously could
+        not."""
+        taus_q = {"Forward Push": 2e-5, "Random Walk": 2e-3}
+        rebuild = ForaPlusCostModel(
+            5000, 25000, taus={**taus_q, "Index Build": 5.0}
+        )
+        incremental = ForaPlusIncrementalCostModel(
+            5000, 25000,
+            taus={**taus_q, "Graph Update": 1e-4, "Index Update": 0.05},
+        )
+        # update-heavy enough that no r_max keeps rho < 1 for the
+        # rebuild row (its rho_min = 2 sqrt(lq tau_fp (lq tau_rw +
+        # lu tau_ib)) ~ 2.0) while the incremental row stays ~0.4
+        lambda_q, lambda_u = 5.0, 2000.0
+        d_rebuild = QuotaController(rebuild).configure(lambda_q, lambda_u)
+        d_inc = QuotaController(incremental).configure(lambda_q, lambda_u)
+        assert not d_rebuild.is_stable
+        assert d_inc.is_stable
+        assert (
+            d_inc.predicted_response_time
+            < d_rebuild.predicted_response_time
+        )
 
     def test_topppr_three_terms(self):
         model = TopPPRCostModel(

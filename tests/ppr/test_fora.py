@@ -96,6 +96,24 @@ class TestForaPlus:
         alg.apply_update(EdgeUpdate(0, 50))
         assert alg.timers.count("Index Build") == builds_before + 1
 
+    def test_compaction_does_not_rebuild_index(self, small_ba_graph, params):
+        """Regression: a fresh CSR view *object* at the same graph
+        version (e.g. after slack-slot compaction) must not trigger an
+        O(m r_max K) index rebuild — the trigger keys on version."""
+        alg = ForaPlus(small_ba_graph, params)
+        alg.seed(1)
+        builds_before = alg.timers.count("Index Build")
+        small_ba_graph._csr_cache = None  # force a brand-new view object
+        assert alg.view is not alg.index.view
+        alg.query(0)
+        assert alg.timers.count("Index Build") == builds_before
+
+    def test_invalid_index_maintenance_rejected(self, small_ba_graph, params):
+        import pytest
+
+        with pytest.raises(ValueError, match="index_maintenance"):
+            ForaPlus(small_ba_graph, params, index_maintenance="lazy")
+
     def test_index_budget_tracks_r_max(self, small_ba_graph, params):
         alg = ForaPlus(small_ba_graph, params)
         walks_default = alg.index.total_walks

@@ -126,6 +126,54 @@ class TestWalkIndex:
         view, index = self._index(g)
         assert index.refresh_nodes(view, np.empty(0, dtype=np.int64)) == 0
 
+    def test_refresh_nodes_tracks_degree_churn(self):
+        """Regression: refreshed nodes re-derive their walk budget from
+        the *current* out-degree instead of keeping the build-time
+        count forever (the stale-count drift bug)."""
+        g = complete_graph(6)
+        view, index = self._index(g, walks_per_unit=2.0, seed=3)
+        assert index.counts[0] == 10  # ceil(2.0 * 5)
+
+        # degree churn both ways: node 0 gains an edge, node 1 loses one
+        g.add_node(6)
+        g.add_edge(0, 6)
+        g.remove_edge(1, 2)
+        view = csr_view(g)
+        index.refresh_nodes(view, np.array([0, 1]))
+
+        expected = np.maximum(
+            np.ceil(
+                index.walks_per_unit * np.maximum(view.out_deg, 1)
+            ).astype(np.int64),
+            1,
+        )
+        assert index.counts[view.to_index(0)] == expected[view.to_index(0)]
+        assert index.counts[view.to_index(1)] == expected[view.to_index(1)]
+        assert index.total_walks == int(index.counts.sum())
+        # every row (grown, shrunk, untouched, and the brand-new node
+        # 6) serves in-range terminals sized to its current budget
+        for i in range(view.n):
+            row = index.terminals_for(i, int(index.counts[i]))
+            assert row.size == int(index.counts[i])
+            assert ((row >= 0) & (row < view.n)).all()
+
+    def test_traced_sampling_consumes_rng_identically(self):
+        """The trace parameter must not perturb the random stream:
+        seeded terminals are bit-for-bit equal traced and untraced."""
+        g = DynamicGraph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        # node 3 dangling: exercises the held-walk pseudo-step record
+        view = csr_view(g)
+        starts = np.arange(4, dtype=np.int64).repeat(200)
+        plain = sample_walk_terminals(
+            view, starts, ALPHA, np.random.default_rng(7)
+        )
+        trace = []
+        traced = sample_walk_terminals(
+            view, starts, ALPHA, np.random.default_rng(7), trace=trace
+        )
+        np.testing.assert_array_equal(plain, traced)
+        assert trace  # something was recorded
+
     def test_index_distribution_statistics(self):
         """Stored terminals for a node follow its PPR distribution."""
         g = ring_graph(4)

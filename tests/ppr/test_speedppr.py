@@ -72,6 +72,16 @@ class TestSpeedPPRPlus:
         alg.apply_update(EdgeUpdate(0, 40))
         assert alg.timers.count("Index Build") == builds_before + 1
 
+    def test_compaction_does_not_rebuild_index(self, small_ba_graph, params):
+        """Same-version fresh view object must not force an index
+        rebuild (mirror of the ForaPlus regression)."""
+        alg = SpeedPPRPlus(small_ba_graph, params)
+        alg.seed(1)
+        builds_before = alg.timers.count("Index Build")
+        small_ba_graph._csr_cache = None
+        alg.query(0)
+        assert alg.timers.count("Index Build") == builds_before
+
     def test_hyperparameter_change_rebuilds_index(self, small_ba_graph, params):
         alg = SpeedPPRPlus(small_ba_graph, params)
         builds_before = alg.timers.count("Index Build")

@@ -256,3 +256,48 @@ def test_deterministic_result_values():
         ppr_exact(g1, node, alpha=ALPHA).values,
         ppr_exact(g2, node, alpha=ALPHA).values,
     )
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("seed", [0, 3])
+def test_incremental_fora_plus_under_concurrency(seed):
+    """Incremental walk-index maintenance inside the writer critical
+    section: FORA+inc serves a racing query/update mix (Seed-deferred
+    flushes included via epsilon_r) with zero snapshot-version
+    violations, and the edge→walk map plus the per-node walk-budget
+    invariant hold on the final graph."""
+    from repro.ppr import ForaPlusIncremental, csr_view
+
+    rng = random.Random(seed)
+    graph = make_graph(rng)
+    initial = graph.copy()
+    algorithm = ForaPlusIncremental(graph, PPRParams(walk_cap=100))
+    algorithm.seed(seed)
+    runtime = ServingRuntime(
+        algorithm,
+        workers=3,
+        epsilon_r=50.0,
+        queue_capacity=0,
+        query_fn=exact_query_fn,
+        idle_tick_s=0.002,
+        metrics=MetricsRegistry(),
+    )
+    with runtime:
+        report = runtime.serve(make_workload(graph, rng))
+    assert report.shed_count == 0 and report.fault_count == 0
+    assert runtime.pending_updates == 0
+    violations = check_oracle(initial, graph, report.records)
+    assert violations == []
+    # updates went through the incremental path, never a rebuild
+    assert algorithm.timers.count("Index Update") == 30
+    # the patched index is structurally consistent with the final graph
+    view = csr_view(graph)
+    index = algorithm._walk_index()
+    assert index.validate_edge_map(view) == []
+    expected = np.maximum(
+        np.ceil(
+            index.walks_per_unit * np.maximum(view.out_deg, 1)
+        ).astype(np.int64),
+        1,
+    )
+    assert (index.counts == expected).all()
